@@ -1,0 +1,29 @@
+"""Extension — abort-rate sensitivity.
+
+§II-D: "In the abort case the PrC behaves in the same way as the PrN,
+meaning that all the messages and synchronous log writes are restored."
+With a growing fraction of refused votes, PrC's advantage over PrN must
+vanish, while 1PC's single-phase abort stays cheap.
+"""
+
+from repro.analysis.tables import render_table
+from repro.harness.sweeps import sweep_abort_rate
+
+RATES = [0.0, 0.1, 0.25]
+
+
+def test_bench_abort_rate(once):
+    table = once(sweep_abort_rate, RATES, ("PrN", "PrC", "EP", "1PC"), 40)
+    rows = [
+        [f"{rate:.0%}"] + [f"{table[rate][p]:.1f}" for p in ("PrN", "PrC", "EP", "1PC")]
+        for rate in RATES
+    ]
+    print("\n" + render_table(
+        ["Abort rate", "PrN", "PrC", "EP", "1PC"],
+        rows,
+        title="Committed tx/s vs injected abort rate",
+    ))
+    for rate in RATES:
+        assert table[rate]["1PC"] > table[rate]["PrN"]
+    # Committed throughput decreases as aborts are injected.
+    assert table[RATES[-1]]["1PC"] < table[RATES[0]]["1PC"]

@@ -1,0 +1,30 @@
+"""Extension — the presumption crossover: PrC vs PrA vs abort rate.
+
+PrC streamlines commits and restores the full protocol on aborts
+(§II-D); the classic Presumed Abort dual does the opposite.  Sweeping
+the injected abort rate exposes the crossover: PrC wins commit-heavy
+workloads (everything the paper evaluates), PrA wins under heavy
+aborts.
+"""
+
+from repro.analysis.tables import render_table
+from repro.harness.sweeps import sweep_abort_rate
+
+RATES = [0.0, 0.2, 0.45]
+PROTOCOLS = ("PrC", "PrA")
+
+
+def test_bench_presumption_crossover(once):
+    table = once(sweep_abort_rate, RATES, PROTOCOLS, 40)
+    rows = [
+        [f"{rate:.0%}"] + [f"{table[rate][p]:.1f}" for p in PROTOCOLS]
+        for rate in RATES
+    ]
+    print("\n" + render_table(
+        ["Abort rate", *PROTOCOLS],
+        rows,
+        title="Presumption crossover: committed tx/s vs abort rate",
+    ))
+    # Commit-heavy: PrC at least on par.  Abort-heavy: PrA wins.
+    assert table[0.0]["PrC"] >= table[0.0]["PrA"] * 0.98
+    assert table[RATES[-1]]["PrA"] > table[RATES[-1]]["PrC"]

@@ -1,0 +1,40 @@
+"""Extension — aggregate scaling over coordinator/worker pairs.
+
+§I's motivation made quantitative: spreading directories over more MDS
+pairs multiplies aggregate distributed-create throughput, because each
+pair's directory lock and log devices are independent.
+"""
+
+from repro.analysis.tables import render_table
+from repro.harness.scaling import sweep_scaling
+
+PAIRS = (1, 2, 4)
+
+
+def test_bench_scaling(once):
+    def run_all():
+        return {p: sweep_scaling(p, PAIRS) for p in ("PrN", "1PC")}
+
+    tables = once(run_all)
+    rows = []
+    for pairs in PAIRS:
+        rows.append(
+            [
+                f"{pairs} ({2 * pairs} MDSs)",
+                f"{tables['PrN'][pairs]:.1f}",
+                f"{tables['1PC'][pairs]:.1f}",
+            ]
+        )
+    print("\n" + render_table(
+        ["Coordinator pairs", "PrN (tx/s)", "1PC (tx/s)"],
+        rows,
+        title="Aggregate throughput vs cluster size",
+    ))
+    for protocol in ("PrN", "1PC"):
+        t = tables[protocol]
+        # Near-linear scaling: 4 pairs give at least 3x one pair.
+        assert t[4] > 3.0 * t[1], protocol
+        assert t[2] > 1.6 * t[1], protocol
+    # 1PC keeps its advantage at every size.
+    for pairs in PAIRS:
+        assert tables["1PC"][pairs] > tables["PrN"][pairs]

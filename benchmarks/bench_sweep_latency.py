@@ -1,0 +1,31 @@
+"""Extension — Figure 6 vs network latency.
+
+Sweeps the one-way MDS-to-MDS latency from LAN (10 us) to WAN-ish
+(5 ms).  1PC has the fewest critical-path messages, so its advantage
+should *grow* with latency; the 2PC family's extra round trips hurt
+more as the network slows.
+"""
+
+from repro.analysis.tables import render_table
+from repro.harness.sweeps import sweep_network_latency
+
+LATENCIES = [10e-6, 100e-6, 1e-3, 5e-3]
+
+
+def test_bench_sweep_latency(once):
+    table = once(sweep_network_latency, LATENCIES, ("PrN", "PrC", "EP", "1PC"), 40)
+    rows = [
+        [f"{lat * 1e6:.0f} us"] + [f"{table[lat][p]:.1f}" for p in ("PrN", "PrC", "EP", "1PC")]
+        for lat in LATENCIES
+    ]
+    print("\n" + render_table(
+        ["Latency", "PrN", "PrC", "EP", "1PC"],
+        rows,
+        title="Throughput (tx/s) vs network latency",
+    ))
+    for lat in LATENCIES:
+        assert table[lat]["1PC"] > table[lat]["PrN"]
+    # 1PC's relative advantage grows with latency.
+    gain_lan = table[LATENCIES[0]]["1PC"] / table[LATENCIES[0]]["PrN"]
+    gain_wan = table[LATENCIES[-1]]["1PC"] / table[LATENCIES[-1]]["PrN"]
+    assert gain_wan > gain_lan

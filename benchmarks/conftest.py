@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every benchmark runs a complete discrete-event simulation, so each is
+executed once per measurement round (no warm-up micro-iterations).
+Artifacts (tables, bar charts) print to stdout — run with ``-s`` to see
+them, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once per round."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

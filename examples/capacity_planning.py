@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Capacity planning with the analytical model.
+
+The closed-form model (`repro.analysis.model`) answers "what if"
+questions in microseconds that the simulator answers in seconds:
+
+* What does the metadata service sustain on 2012 shared disks vs a
+  modern NVRAM-backed log device?
+* At what network latency does the 2PC voting round trip start to
+  dominate?
+* How much of 1PC's advantage survives on each hardware profile?
+
+Every fourth row is spot-checked against the simulator so the model's
+error is visible next to its predictions.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis.model import predict
+from repro.analysis.tables import render_table
+from repro.config import KB, SimulationParams
+from repro.workloads import run_burst
+
+PROFILES = {
+    "paper-2012 (400 KB/s SAN, 100 us net)": SimulationParams.paper_defaults(),
+    "10K-rpm array (4 MB/s, 100 us net)": SimulationParams.paper_defaults().with_(
+        storage=replace(SimulationParams.paper_defaults().storage, bandwidth=4000 * KB)
+    ),
+    "NVRAM log (400 MB/s, 100 us net)": SimulationParams.paper_defaults().with_(
+        storage=replace(SimulationParams.paper_defaults().storage, bandwidth=400_000 * KB)
+    ),
+    "paper disks, WAN links (5 ms)": SimulationParams.paper_defaults().with_(
+        network=replace(SimulationParams.paper_defaults().network, latency=5e-3)
+    ),
+}
+
+
+def main() -> None:
+    rows = []
+    for name, params in PROFILES.items():
+        prn = predict("PrN", params)
+        one = predict("1PC", params)
+        sim_check = run_burst("1PC", n=30, params=params).throughput
+        rows.append(
+            [
+                name,
+                f"{prn.throughput:.0f}",
+                f"{one.throughput:.0f}",
+                f"{(one.throughput / prn.throughput - 1) * 100:+.0f}%",
+                f"{sim_check:.0f}",
+            ]
+        )
+    print(render_table(
+        ["Hardware profile", "PrN model (tx/s)", "1PC model (tx/s)",
+         "1PC gain", "1PC simulated"],
+        rows,
+        title="Predicted distributed-create capacity per coordinator pair",
+    ))
+    print(
+        "\nReading: on the paper's slow shared disks 1PC wins through its "
+        "two saved forced writes; as the log device speeds up, message "
+        "handling becomes the bottleneck and 1PC's lean message count "
+        "widens the relative gap further (the model grows optimistic in "
+        "that regime — compare the simulated column)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The paper's motivating workload: an HPC application checkpointing.
+
+Hundreds of compute processes create their checkpoint files in one
+shared directory at the same instant (N-to-1-directory create storm —
+§I: "applications that require creation ... of a high number of files
+per second in the same directory").  The directory's MDS coordinates;
+every inode lands on the other MDS, so each create is a distributed
+transaction.
+
+The script runs the same 128-file checkpoint under all four protocols
+and prints per-protocol throughput, client-latency percentiles and the
+gain over the 2PC baseline — the Figure 6 experiment at slightly larger
+scale, with latency detail the paper does not show.
+
+Run:  python examples/hpc_checkpoint_burst.py
+"""
+
+from repro.analysis.tables import render_bar_chart, render_table
+from repro.workloads import run_burst
+
+N_PROCESSES = 128
+
+
+def main() -> None:
+    print(f"Checkpoint storm: {N_PROCESSES} simultaneous creates in /dir1\n")
+    results = {}
+    for protocol in ("PrN", "PrC", "EP", "1PC"):
+        results[protocol] = run_burst(protocol, n=N_PROCESSES)
+        assert results[protocol].cluster.check_invariants() == []
+
+    print(
+        render_bar_chart(
+            {name: r.throughput for name, r in results.items()},
+            title="Distributed creates per second",
+            unit="tx/s",
+            baseline="PrN",
+        )
+    )
+
+    rows = []
+    for name, r in results.items():
+        s = r.latency
+        rows.append(
+            [
+                name,
+                f"{r.makespan * 1e3:.1f}",
+                f"{s.p50 * 1e3:.2f}",
+                f"{s.p95 * 1e3:.2f}",
+                f"{s.maximum * 1e3:.2f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Protocol", "Makespan (ms)", "p50 latency (ms)", "p95 (ms)", "max (ms)"],
+            rows,
+            title="Client-perceived latency under the storm",
+        )
+    )
+    print(
+        "\nNote how 1PC's early lock release compresses the whole "
+        "queue: the last process finishes its create "
+        f"{results['PrN'].makespan / results['1PC'].makespan:.2f}x sooner."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's protocol figures (Figures 2-5) from traces.
+
+Each timeline is produced by actually running one distributed CREATE
+under the protocol and rendering the trace — so the figures can never
+drift from the implementation.
+
+Run:  python examples/protocol_timelines.py
+"""
+
+from repro.harness.diagrams import render_all_timelines
+
+if __name__ == "__main__":
+    print(render_all_timelines())

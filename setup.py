@@ -1,0 +1,11 @@
+"""Legacy setup entry point.
+
+Exists so that ``pip install -e .`` works in fully offline
+environments whose setuptools predates the bundled bdist_wheel (the
+PEP-517 editable path needs the ``wheel`` package; the legacy path
+does not).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Analysis: cost accounting, metrics and table/figure rendering.
+
+* :mod:`repro.analysis.costs` -- the analytical Table I model and the
+  trace-based measurement that must agree with it.
+* :mod:`repro.analysis.metrics` -- throughput and latency statistics
+  over transaction outcomes.
+* :mod:`repro.analysis.tables` -- plain-text rendering of the paper's
+  Table I, Figure 6 and the protocol timeline figures.
+"""
+
+from repro.analysis.costs import (
+    BASE_MESSAGES,
+    TABLE1,
+    CostRow,
+    MeasuredCosts,
+    measure_protocol_costs,
+)
+from repro.analysis.compare import TraceDiff, compare_traces
+from repro.analysis.metrics import LatencyStats, throughput
+from repro.analysis.model import (
+    ProtocolPrediction,
+    predict,
+    predict_figure6,
+    predicted_gain_over_prn,
+)
+from repro.analysis.tables import render_bar_chart, render_table
+
+__all__ = [
+    "BASE_MESSAGES",
+    "CostRow",
+    "LatencyStats",
+    "MeasuredCosts",
+    "TraceDiff",
+    "compare_traces",
+    "ProtocolPrediction",
+    "TABLE1",
+    "measure_protocol_costs",
+    "predict",
+    "predict_figure6",
+    "predicted_gain_over_prn",
+    "render_bar_chart",
+    "render_table",
+    "throughput",
+]

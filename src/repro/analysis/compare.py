@@ -1,0 +1,87 @@
+"""Trace comparison: diff two simulation runs.
+
+Because every run is deterministic, a behavioural change between two
+code revisions (or two parameter sets) shows up as a trace divergence.
+``compare_traces`` pinpoints the first differing record and summarises
+the aggregate deltas — the programmatic counterpart of the golden-trace
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.traceio import summarize
+from repro.sim.monitor import TraceRecord
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Result of comparing two record sequences."""
+
+    identical: bool
+    #: Index of the first divergence (None when identical or when one
+    #: trace is a strict prefix of the other).
+    first_divergence: Optional[int]
+    #: Human-readable description of the divergence.
+    detail: str
+    #: category -> (count_a, count_b) for categories whose counts differ.
+    count_deltas: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.identical:
+            return "<TraceDiff identical>"
+        return f"<TraceDiff at {self.first_divergence}: {self.detail}>"
+
+
+def _key(rec: TraceRecord) -> tuple:
+    return (round(rec.time, 12), rec.category, rec.actor)
+
+
+def compare_traces(
+    a: Sequence[TraceRecord],
+    b: Sequence[TraceRecord],
+    compare_details: bool = False,
+) -> TraceDiff:
+    """Compare two traces record by record.
+
+    By default only (time, category, actor) triples are compared —
+    robust across cosmetic payload changes; ``compare_details=True``
+    also compares the payload dictionaries.
+    """
+    counts_a, counts_b = summarize(a), summarize(b)
+    deltas = {
+        cat: (counts_a.get(cat, 0), counts_b.get(cat, 0))
+        for cat in sorted(set(counts_a) | set(counts_b))
+        if counts_a.get(cat, 0) != counts_b.get(cat, 0)
+    }
+
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        if _key(ra) != _key(rb):
+            return TraceDiff(
+                identical=False,
+                first_divergence=i,
+                detail=(
+                    f"a[{i}]=({ra.time:.6f}, {ra.category}, {ra.actor}) vs "
+                    f"b[{i}]=({rb.time:.6f}, {rb.category}, {rb.actor})"
+                ),
+                count_deltas=deltas,
+            )
+        if compare_details and dict(ra.detail) != dict(rb.detail):
+            return TraceDiff(
+                identical=False,
+                first_divergence=i,
+                detail=f"payloads differ at {i}: {ra.detail} vs {rb.detail}",
+                count_deltas=deltas,
+            )
+    if len(a) != len(b):
+        longer = "a" if len(a) > len(b) else "b"
+        return TraceDiff(
+            identical=False,
+            first_divergence=None,
+            detail=f"trace {longer} has {abs(len(a) - len(b))} extra records "
+            f"(a={len(a)}, b={len(b)})",
+            count_deltas=deltas,
+        )
+    return TraceDiff(identical=True, first_divergence=None, detail="", count_deltas={})

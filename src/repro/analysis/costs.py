@@ -1,0 +1,166 @@
+"""Table I: protocol cost accounting — analytical and measured.
+
+The analytical rows are transcribed from the paper.  The measured rows
+are derived from a simulation trace of one distributed CREATE:
+
+* *total* synchronous / asynchronous log writes: count of forced / lazy
+  appends tagged with the transaction;
+* *critical-path* writes: the maximum set of pairwise-disjoint write
+  intervals completing before the client reply (overlapping writes —
+  the coordinator's and worker's concurrent prepares — count once,
+  exactly as the paper counts them);
+* *messages*: wire messages for the transaction, minus the two
+  execution messages (UPDATE_REQ / response) any distributed operation
+  needs even without an ACP ("the additional messages required by the
+  specific protocol when compared with the case where no atomic
+  commitment protocols are used");
+* *critical-path messages*: extra messages sent before the client
+  reply.
+
+``test_table1.py`` asserts measured == analytical for all four
+protocols; ``benchmarks/bench_table1.py`` renders both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mds.cluster import Cluster
+
+#: Messages a distributed namespace operation needs with no ACP at all
+#: (ship the updates, hear back).
+BASE_MESSAGES = 2
+
+#: Wire kinds that belong to the commit protocol (client traffic and
+#: heartbeats excluded).
+_PROTOCOL_KINDS = frozenset(
+    {
+        "UPDATE_REQ",
+        "UPDATED",
+        "PREPARE",
+        "PREPARED",
+        "NOT_PREPARED",
+        "COMMIT",
+        "ABORT",
+        "ACK",
+        "DECISION_REQ",
+        "ACK_REQ",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One Table I row."""
+
+    sync_total: int
+    async_total: int
+    sync_critical: int
+    async_critical: int
+    msgs_total: int
+    msgs_critical: int
+
+
+#: Table I as printed in the paper.
+TABLE1: dict[str, CostRow] = {
+    "PrN": CostRow(5, 1, 4, 1, 4, 4),
+    "PrC": CostRow(4, 1, 3, 0, 3, 2),
+    "EP": CostRow(4, 1, 3, 0, 1, 0),
+    "1PC": CostRow(3, 1, 2, 0, 1, 0),
+}
+
+
+@dataclass(frozen=True)
+class MeasuredCosts:
+    """Counts extracted from a trace, in Table I's units."""
+
+    row: CostRow
+    client_latency: float
+    txn_id: int
+
+
+def _disjoint_interval_count(intervals: list[tuple[float, float]]) -> int:
+    """Maximum number of pairwise-disjoint intervals (greedy by end)."""
+    count = 0
+    last_end = float("-inf")
+    for start, end in sorted(intervals, key=lambda iv: (iv[1], iv[0])):
+        if start >= last_end:
+            count += 1
+            last_end = end
+    return count
+
+
+def measure_protocol_costs(protocol: str, workers: int = 1) -> MeasuredCosts:
+    """Run one distributed CREATE under ``protocol`` and count costs.
+
+    Uses a dedicated two-server cluster with the directory pinned on
+    mds1 and the inode forced to mds2, so the operation is guaranteed
+    to be a two-MDS distributed transaction.
+    """
+    from repro.harness.scenarios import distributed_create_cluster
+
+    cluster, client = distributed_create_cluster(protocol)
+    done = cluster.sim.process(client.create("/dir1/f0"), name="measure")
+    cluster.sim.run(until=done)
+    cluster.sim.run()  # drain trailing protocol activity (ACKs, GC)
+    trace = cluster.trace
+
+    txn_done = trace.select("txn_done")
+    if len(txn_done) != 1:
+        raise RuntimeError(f"expected one transaction, saw {len(txn_done)}")
+    txn_id = txn_done[0].get("txn")
+    reply_time = trace.select("client_reply", txn=txn_id)[0].time
+
+    appends = trace.select("log_append", txn=txn_id)
+    durables = {
+        (r.actor, r.get("kind"), r.get("sync")): r.time
+        for r in trace.select("log_durable", txn=txn_id)
+    }
+
+    # Forced appends are one force() call each; group multi-record
+    # forces by (actor, time).
+    sync_groups: dict[tuple[str, float], list] = {}
+    async_groups: dict[tuple[str, float], list] = {}
+    for rec in appends:
+        target = sync_groups if rec.get("sync") else async_groups
+        target.setdefault((rec.actor, rec.time), []).append(rec)
+
+    sync_total = len(sync_groups)
+    async_total = len(async_groups)
+
+    sync_intervals = []
+    for (actor, start), recs in sync_groups.items():
+        ends = [
+            durables.get((actor, r.get("kind"), True), float("inf")) for r in recs
+        ]
+        end = max(ends)
+        if end <= reply_time:
+            sync_intervals.append((start, end))
+    sync_critical = _disjoint_interval_count(sync_intervals)
+    async_critical = sum(1 for (_a, t) in async_groups if t <= reply_time)
+
+    sends = [
+        r
+        for r in trace.select("msg_send", txn=txn_id)
+        if r.get("kind") in _PROTOCOL_KINDS
+    ]
+    msgs_total = len(sends) - BASE_MESSAGES * workers
+    # Strictly before the reply: a COMMIT fired in the same instant as
+    # the client reply is already off the critical path (PrC/EP reply
+    # first, then forward the decision).
+    msgs_critical = (
+        sum(1 for r in sends if r.time < reply_time) - BASE_MESSAGES * workers
+    )
+
+    row = CostRow(
+        sync_total=sync_total,
+        async_total=async_total,
+        sync_critical=sync_critical,
+        async_critical=async_critical,
+        msgs_total=msgs_total,
+        msgs_critical=max(0, msgs_critical),
+    )
+    outcome = [o for o in cluster.outcomes if o.txn_id == txn_id][0]
+    return MeasuredCosts(row=row, client_latency=outcome.client_latency, txn_id=txn_id)

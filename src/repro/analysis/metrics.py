@@ -1,0 +1,80 @@
+"""Throughput and latency statistics over transaction outcomes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.protocols.base import TxnOutcome
+
+
+def throughput(outcomes: Sequence[TxnOutcome], committed_only: bool = True) -> float:
+    """Transactions per second over the outcomes' makespan.
+
+    The makespan runs from the earliest submission to the last client
+    reply — the window the paper's "distributed transactions per
+    second" figure measures.
+    """
+    pool = [o for o in outcomes if o.committed] if committed_only else list(outcomes)
+    if not pool:
+        return 0.0
+    start = min(o.submitted_at for o in pool)
+    end = max(o.replied_at for o in pool)
+    if end <= start:
+        return math.inf
+    return len(pool) / (end - start)
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of client-perceived latencies."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @staticmethod
+    def from_outcomes(outcomes: Iterable[TxnOutcome]) -> "LatencyStats":
+        values = sorted(o.client_latency for o in outcomes)
+        if not values:
+            raise ValueError("no outcomes to summarise")
+        return LatencyStats(
+            count=len(values),
+            mean=sum(values) / len(values),
+            minimum=values[0],
+            maximum=values[-1],
+            p50=percentile(values, 50.0),
+            p95=percentile(values, 95.0),
+            p99=percentile(values, 99.0),
+        )
+
+
+def percentile(sorted_values: Sequence[float], pct: float) -> float:
+    """Nearest-rank-interpolated percentile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("empty sample")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (pct / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_values[low]
+    frac = rank - low
+    value = sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+    # Guard against 1-ulp interpolation overshoot on extreme floats.
+    return min(max(value, sorted_values[low]), sorted_values[high])
+
+
+def abort_rate(outcomes: Sequence[TxnOutcome]) -> float:
+    """Fraction of transactions that aborted."""
+    if not outcomes:
+        return 0.0
+    return sum(1 for o in outcomes if not o.committed) / len(outcomes)

@@ -1,0 +1,170 @@
+"""Serial-equivalence verification.
+
+Strict two-phase locking serialises conflicting transactions in commit
+order, so the final durable state of a run must equal a *serial* replay
+of exactly the committed operations, ordered by their commit points.
+This module performs that replay and diffs the images — the executable
+form of the Isolation property the paper's §II defines.
+
+The serialisation point used is the coordinator's reply time: under
+strict 2PL the coordinator holds its locks until the commit decision,
+so reply order is a valid serial order for conflicting transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.fs.objects import UpdateError
+from repro.fs.operations import OpPlan
+from repro.fs.store import MetadataStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mds.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class SerializabilityViolation:
+    """One difference between the run's state and the serial replay."""
+
+    node: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.node}] {self.kind}: {self.detail}"
+
+
+def replay_serial(
+    plans: Iterable[OpPlan],
+    bootstrap_dirs: Mapping[str, str],
+) -> dict[str, MetadataStore]:
+    """Apply ``plans`` one after another on fresh stores.
+
+    ``bootstrap_dirs`` maps directory path -> owning node (the
+    directories the cluster provisioned outside transactions).
+    Raises :class:`UpdateError` if the serial history itself is
+    inconsistent — which would mean the committed set could not have
+    been produced by any serial execution.
+    """
+    stores: dict[str, MetadataStore] = {}
+
+    def store(node: str) -> MetadataStore:
+        if node not in stores:
+            stores[node] = MetadataStore(node)
+        return stores[node]
+
+    for path, node in bootstrap_dirs.items():
+        store(node).mkdir(path)
+
+    for txn_id, plan in enumerate(plans, start=1):
+        for node, updates in plan.updates.items():
+            for update in updates:
+                store(node).apply(txn_id, update)
+            store(node).commit_durable(txn_id)
+    return stores
+
+
+def committed_plans_in_commit_order(
+    cluster: "Cluster", plans_by_key: Mapping[tuple[str, str], OpPlan]
+) -> list[OpPlan]:
+    """The committed subset of ``plans_by_key``, in serialisation order.
+
+    ``plans_by_key`` maps ``(op, path)`` to the submitted plan; every
+    committed outcome must have a unique key (true for the bundled
+    workload generators).
+    """
+    committed = sorted(
+        (o for o in cluster.outcomes if o.committed), key=lambda o: o.replied_at
+    )
+    ordered = []
+    for outcome in committed:
+        key = (outcome.op, outcome.path)
+        if key not in plans_by_key:
+            raise KeyError(f"no plan recorded for committed outcome {key}")
+        ordered.append(plans_by_key[key])
+    return ordered
+
+
+def precedence_graph(trace) -> "list[tuple[object, object]]":
+    """Conflict-precedence edges from the lock-grant trace.
+
+    For every lockable object, transactions touch it in grant order;
+    each consecutive pair contributes an edge ``earlier -> later``.
+    Strict 2PL guarantees the union over all objects is acyclic — the
+    textbook conflict-serializability criterion —
+    :func:`assert_conflict_serializable` checks it.
+    """
+    per_object: dict[str, list] = {}
+    for rec in trace.records:
+        if rec.category != "lock_grant":
+            continue
+        txn = rec.get("txn")
+        if not isinstance(txn, int):
+            continue  # stat readers and other non-transaction lockers
+        per_object.setdefault(str(rec.get("obj")), []).append(txn)
+    edges: list[tuple[object, object]] = []
+    for grants in per_object.values():
+        for earlier, later in zip(grants, grants[1:]):
+            if earlier != later:
+                edges.append((earlier, later))
+    return edges
+
+
+def assert_conflict_serializable(trace) -> None:
+    """Raise AssertionError with the cycle if the precedence graph has
+    one."""
+    from repro.locks import find_deadlock_cycle
+
+    cycle = find_deadlock_cycle(set(precedence_graph(trace)))
+    assert cycle is None, f"conflict cycle between transactions: {cycle}"
+
+
+def verify_serial_equivalence(
+    cluster: "Cluster",
+    plans_by_key: Mapping[tuple[str, str], OpPlan],
+    bootstrap_dirs: Mapping[str, str],
+) -> list[SerializabilityViolation]:
+    """Diff the cluster's durable state against the serial replay."""
+    ordered = committed_plans_in_commit_order(cluster, plans_by_key)
+    try:
+        replayed = replay_serial(ordered, bootstrap_dirs)
+    except UpdateError as exc:
+        return [
+            SerializabilityViolation(
+                node="*", kind="no-serial-history", detail=str(exc)
+            )
+        ]
+
+    violations: list[SerializabilityViolation] = []
+    nodes = set(replayed) | set(cluster.server_names())
+    for node in sorted(nodes):
+        actual = cluster.store_of(node)
+        expected = replayed.get(node, MetadataStore(node))
+        if actual.stable_directories != expected.stable_directories:
+            violations.append(
+                SerializabilityViolation(
+                    node=node,
+                    kind="directories-differ",
+                    detail=(
+                        f"run={actual.stable_directories} "
+                        f"serial={expected.stable_directories}"
+                    ),
+                )
+            )
+        actual_inodes = {
+            ino: (n.ftype, n.nlink) for ino, n in actual.stable_inodes.items()
+        }
+        expected_inodes = {
+            ino: (n.ftype, n.nlink) for ino, n in expected.stable_inodes.items()
+        }
+        if actual_inodes != expected_inodes:
+            violations.append(
+                SerializabilityViolation(
+                    node=node,
+                    kind="inodes-differ",
+                    detail=f"run={actual_inodes} serial={expected_inodes}",
+                )
+            )
+    return violations

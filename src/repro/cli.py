@@ -1,0 +1,299 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro table1                  # Table I, paper vs measured
+    python -m repro figure6 --n 100         # Figure 6 burst
+    python -m repro timeline --protocol 1PC # one of Figures 2-5
+    python -m repro model                   # analytical predictions
+    python -m repro burst --protocol EP --n 50
+    python -m repro sweep --kind latency
+    python -m repro recovery
+    python -m repro batching --n 96
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.harness.table1 import run_table1
+
+    print(run_table1(measured=not args.paper_only))
+    return 0
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    from repro.harness.figure6 import PAPER_FIGURE6, run_figure6
+
+    figure = run_figure6(n=args.n)
+    print(figure.render())
+    print("\nPaper reference (tx/s):", PAPER_FIGURE6)
+    gains = figure.gain_over("PrN")
+    print("Measured gains vs PrN: " + ", ".join(
+        f"{k} {v:+.2f}%" for k, v in gains.items()
+    ))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.harness.diagrams import render_all_timelines, render_timeline
+
+    if args.protocol == "all":
+        print(render_all_timelines())
+    else:
+        print(render_timeline(args.protocol))
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.analysis.model import predict_figure6
+    from repro.analysis.tables import render_table
+
+    preds = predict_figure6()
+    rows = [
+        [
+            name,
+            f"{p.lock_hold * 1e3:.2f}",
+            f"{p.coordinator_disk * 1e3:.2f}",
+            f"{p.worker_disk * 1e3:.2f}",
+            f"{p.throughput:.1f}",
+            f"{p.solo_latency * 1e3:.2f}",
+        ]
+        for name, p in preds.items()
+    ]
+    print(render_table(
+        ["Protocol", "Lock hold (ms)", "Coord disk (ms)", "Worker disk (ms)",
+         "Throughput (tx/s)", "Solo latency (ms)"],
+        rows,
+        title="Analytical model (deep-burst steady state)",
+    ))
+    return 0
+
+
+def _cmd_burst(args: argparse.Namespace) -> int:
+    from repro.workloads import run_burst
+
+    result = run_burst(args.protocol, n=args.n, op=args.op)
+    print(result)
+    stats = result.latency
+    print(f"latency: p50 {stats.p50 * 1e3:.2f} ms, p95 {stats.p95 * 1e3:.2f} ms, "
+          f"max {stats.maximum * 1e3:.2f} ms")
+    violations = result.cluster.check_invariants()
+    print("invariants:", violations or "OK")
+    return 0 if not violations else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.config import KB
+    from repro.harness import sweeps
+
+    if args.kind == "latency":
+        points = [10e-6, 100e-6, 1e-3, 5e-3]
+        table = sweeps.sweep_network_latency(points, n=args.n)
+        label = lambda v: f"{v * 1e6:.0f} us"
+        title = "Throughput (tx/s) vs network latency"
+    elif args.kind == "disk":
+        points = [100 * KB, 400 * KB, 4000 * KB]
+        table = sweeps.sweep_disk_bandwidth(points, n=args.n)
+        label = lambda v: f"{v / KB:.0f} KB/s"
+        title = "Throughput (tx/s) vs log-device bandwidth"
+    elif args.kind == "burst":
+        points = [1, 10, 50, 150]
+        table = sweeps.sweep_burst_size(points)
+        label = str
+        title = "Throughput (tx/s) vs burst size"
+    else:
+        points = [0.0, 0.1, 0.25]
+        table = sweeps.sweep_abort_rate(points, n=args.n)
+        label = lambda v: f"{v:.0%}"
+        title = "Committed tx/s vs abort rate"
+    rows = [
+        [label(pt)] + [f"{table[pt][p]:.1f}" for p in PROTOCOLS] for pt in points
+    ]
+    print(render_table(["Point", *PROTOCOLS], rows, title=title))
+    return 0
+
+
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.harness.recovery import (
+        measure_coordinator_crash_recovery,
+        measure_worker_crash_recovery,
+    )
+
+    rows = []
+    for protocol in PROTOCOLS:
+        w = measure_worker_crash_recovery(protocol)
+        c = measure_coordinator_crash_recovery(protocol)
+        rows.append(
+            [
+                protocol,
+                f"{w.settle_time * 1e3:.1f}",
+                str(w.committed),
+                f"{c.settle_time * 1e3:.1f}",
+                str(c.committed),
+                str(w.invariant_violations + c.invariant_violations),
+            ]
+        )
+    print(render_table(
+        ["Protocol", "Worker-crash settle (ms)", "Committed",
+         "Coord-crash settle (ms)", "Committed", "Violations"],
+        rows,
+        title="Recovery after a crash 2 ms into a distributed CREATE",
+    ))
+    return 0
+
+
+def _cmd_batching(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.workloads import run_batched_burst
+
+    rows = []
+    for batch in (1, 4, 16, 48):
+        result = run_batched_burst(args.protocol, n=args.n, batch_size=batch)
+        rows.append([str(batch), f"{result.throughput:.1f}", f"{result.makespan * 1e3:.1f}"])
+    print(render_table(
+        ["Batch size", "Files/s", "Makespan (ms)"],
+        rows,
+        title=f"§VI aggregation: {args.n} creates under {args.protocol}",
+    ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import generate_report
+
+    print(generate_report(n=args.n))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.harness.calibrate import PAPER_GAINS, quick_search
+
+    print(f"Target gains over PrN: {PAPER_GAINS}")
+    points = quick_search(n=args.n)
+    for point in points[:8]:
+        print(point.describe())
+    best = points[0]
+    print(f"\nBest: {best.describe()}")
+    return 0
+
+
+def _cmd_torture(args: argparse.Namespace) -> int:
+    from repro.faults import random_fault_plan
+    from repro.fs import check_invariants
+    from repro.harness.scenarios import distributed_create_cluster
+
+    failures = 0
+    for seed in range(args.seeds):
+        cluster, client = distributed_create_cluster(args.protocol)
+        random_fault_plan(seed, ["mds1", "mds2"], horizon=0.1, n_faults=args.faults).install(
+            cluster
+        )
+        for i in range(args.ops):
+            client.submit(client.plan_create(f"/dir1/t{i}"))
+        cluster.sim.run(until=cluster.sim.now + 300.0)
+        violations = cluster.check_invariants()
+        committed = sum(1 for o in cluster.outcomes if o.committed)
+        status = "OK" if not violations else f"VIOLATIONS: {violations}"
+        print(f"seed {seed}: {committed}/{args.ops} committed, {status}")
+        if violations:
+            failures += 1
+    print(f"\n{args.seeds - failures}/{args.seeds} seeds consistent")
+    return 1 if failures else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.traceio import dump_trace
+    from repro.harness.scenarios import distributed_create_cluster
+
+    cluster, client = distributed_create_cluster(args.protocol)
+    done = cluster.sim.process(client.create("/dir1/f0"), name="trace")
+    cluster.sim.run(until=done)
+    cluster.sim.run(until=cluster.sim.now + 60.0)
+    count = dump_trace(cluster.trace, args.out)
+    print(f"wrote {count} trace records to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'One Phase Commit' (CLUSTER 2012) experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table I: cost accounting")
+    p.add_argument("--paper-only", action="store_true", help="skip the measurement run")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("figure6", help="Figure 6: burst throughput")
+    p.add_argument("--n", type=int, default=100, help="burst size")
+    p.set_defaults(func=_cmd_figure6)
+
+    p = sub.add_parser("timeline", help="Figures 2-5: protocol timelines")
+    p.add_argument("--protocol", choices=[*PROTOCOLS, "all"], default="all")
+    p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser("model", help="analytical throughput model")
+    p.set_defaults(func=_cmd_model)
+
+    p = sub.add_parser("burst", help="run one burst workload")
+    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC")
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--op", choices=["create", "delete"], default="create")
+    p.set_defaults(func=_cmd_burst)
+
+    p = sub.add_parser("sweep", help="extension parameter sweeps")
+    p.add_argument("--kind", choices=["latency", "disk", "burst", "abort"], default="latency")
+    p.add_argument("--n", type=int, default=40)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("recovery", help="crash recovery timing")
+    p.set_defaults(func=_cmd_recovery)
+
+    p = sub.add_parser("batching", help="§VI aggregation sweep")
+    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC")
+    p.add_argument("--n", type=int, default=96)
+    p.set_defaults(func=_cmd_batching)
+
+    p = sub.add_parser("calibrate", help="re-run the calibration grid search")
+    p.add_argument("--n", type=int, default=40, help="burst size per grid point")
+    p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser("torture", help="random fault plans over a create burst")
+    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC")
+    p.add_argument("--seeds", type=int, default=5)
+    p.add_argument("--ops", type=int, default=12)
+    p.add_argument("--faults", type=int, default=3)
+    p.set_defaults(func=_cmd_torture)
+
+    p = sub.add_parser("trace", help="dump a distributed CREATE's trace as JSONL")
+    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC")
+    p.add_argument("--out", default="trace.jsonl")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("report", help="full reproduction report (all core artifacts)")
+    p.add_argument("--n", type=int, default=100, help="Figure 6 burst size")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

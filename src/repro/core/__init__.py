@@ -1,0 +1,26 @@
+"""The paper's contribution: the One Phase Commit protocol (§III).
+
+* :mod:`repro.core.one_phase` -- the 1PC coordinator/worker state
+  machines (failure-free protocol of Figure 5 plus the §III-C failure
+  protocol).
+* :mod:`repro.core.recovery` -- the shared-log recovery path: fencing
+  the suspect worker, then reading its log partition from the central
+  storage to learn its decision.
+* :mod:`repro.core.batching` -- the §VI future-work extension:
+  aggregating many namespace operations on the same directory into one
+  transaction.
+
+Importing this package registers the protocol under the name ``"1PC"``
+in :data:`repro.protocols.PROTOCOLS`.
+"""
+
+from repro.core.batching import BatchPlanner
+from repro.core.one_phase import OnePhaseCommitProtocol
+from repro.core.recovery import WorkerProbeResult, probe_worker_log
+
+__all__ = [
+    "BatchPlanner",
+    "OnePhaseCommitProtocol",
+    "WorkerProbeResult",
+    "probe_worker_log",
+]

@@ -1,0 +1,486 @@
+"""The One Phase Commit protocol (§III).
+
+Failure-free flow (Figure 5):
+
+==========  =====================================================
+coordinator worker
+==========  =====================================================
+force STARTED + REDO (one write)
+lock, update cache
+UPDATE_REQ ->
+            lock, update cache
+            force UPDATES+COMMITTED, apply, release locks
+            <- UPDATED
+reply to client, release locks
+force UPDATES+COMMITTED (async w.r.t. the client), apply
+ACK ->
+            lazy ENDED, checkpoint
+==========  =====================================================
+
+Key properties reproduced from the paper:
+
+* the voting phase is gone: the worker's forced commit *is* its vote,
+  and the redo record guarantees the coordinator can always re-execute
+  ("no matter what will happen, the transaction will be committed
+  eventually");
+* the coordinator releases its locks and answers the client as soon as
+  the UPDATED message arrives — its own commit record is written off
+  the critical path;
+* on a worker timeout the coordinator fences the worker and reads its
+  log partition from the central storage (see
+  :mod:`repro.core.recovery`) instead of blocking.
+
+Cost accounting (Table I row 1PC): (3, 1) log writes total, (2, 0) in
+the critical path, 1 extra message (ACK), none in the critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.recovery import probe_worker_log
+from repro.fs.operations import OpPlan, UnsupportedOperation
+from repro.net.message import Message
+from repro.protocols.base import (
+    MsgKind,
+    Protocol,
+    Transaction,
+    TransactionAborted,
+    register_protocol,
+)
+from repro.storage.fencing import FencedError
+from repro.storage.records import RecordKind
+from repro.storage.wal import LogLostError
+
+#: How long a worker waits for the coordinator's ACK before asking for
+#: a retransmission, in units of the protocol reply timeout.
+ACK_WAIT_FACTOR = 5
+
+
+@register_protocol
+class OnePhaseCommitProtocol(Protocol):
+    """The paper's tailored one-phase atomic commitment protocol."""
+
+    name = "1PC"
+    #: §III: the protocol is designed for namespace operations that
+    #: involve exactly two MDSs (one coordinator + one worker).
+    max_workers = 1
+
+    # ------------------------------------------------------------------
+    # Coordinator
+    # ------------------------------------------------------------------
+
+    def coordinate(self, txn: Transaction) -> Generator:
+        if len(txn.workers) > self.max_workers:
+            raise UnsupportedOperation(
+                f"1PC handles transactions with at most {self.max_workers} worker, "
+                f"got {len(txn.workers)} (use a 2PC-family protocol for wide RENAMEs)"
+            )
+        inbox = self.server.open_session(txn.txn_id)
+        try:
+            # STARTED plus the redo record for the whole namespace
+            # operation, forced in a single log write.
+            yield from self.wal.force(
+                self.state_rec(
+                    RecordKind.STARTED, txn.txn_id, op=txn.plan.op, workers=txn.workers
+                ),
+                self.redo_rec(txn.txn_id, txn.plan),
+            )
+            try:
+                outcome = yield from self._coordinate_body(txn, inbox)
+            except TransactionAborted as aborted:
+                outcome = yield from self._abort(txn, aborted.reason)
+            return outcome
+        finally:
+            self.server.close_session(txn.txn_id)
+
+    def _coordinate_body(self, txn: Transaction, inbox) -> Generator:
+        plan, txn_id = txn.plan, txn.txn_id
+        yield from self.lock_all(txn_id, plan.locks(self.me))
+        yield from self.apply_updates(txn_id, plan.updates[self.me])
+
+        worker = txn.workers[0] if txn.workers else None
+        if worker is not None:
+            self.send(
+                worker,
+                MsgKind.UPDATE_REQ,
+                txn_id,
+                updates=[u.describe() for u in plan.updates[worker]],
+                op=plan.op,
+                commit=True,
+            )
+            msg = yield from self._await_worker_reply(txn_id, worker, inbox)
+            if msg is not None and msg.kind == MsgKind.NOT_PREPARED:
+                raise TransactionAborted(
+                    f"worker {worker} rejected the updates: "
+                    f"{msg.payload.get('reason', 'no reason given')}"
+                )
+            if msg is None:
+                # Worker unresponsive: enter the shared-log recovery.
+                committed = yield from self._probe_worker(txn_id, worker)
+                if not committed:
+                    raise TransactionAborted(f"worker {worker} crashed before committing")
+
+        # Decision reached: the worker has committed (or there is no
+        # worker).  The updates become visible in the cache, the client
+        # gets its reply and the locks drop *before* our commit write.
+        self.store.commit(txn_id)
+        replied_at = self.reply_to_client(txn, committed=True)
+        self.locks.release_all(txn_id)
+        yield from self._commit_self(txn_id)
+        if worker is not None:
+            self.send(worker, MsgKind.ACK, txn_id)
+        self.wal.checkpoint(txn_id)
+        return self.outcome(txn, committed=True, replied_at=replied_at)
+
+    def _await_worker_reply(self, txn_id: int, worker: str, inbox) -> Generator:
+        """Wait for the worker's reply, watching the failure detector.
+
+        §III-A: the cluster runs a heartbeat failure detector.  When it
+        is active, the coordinator gives up as soon as the worker is
+        *suspected* instead of sitting out the full protocol timeout —
+        heartbeats accelerate the fencing decision (they can never make
+        it wrong: fencing + the shared log settle the outcome either
+        way).
+        """
+        detector = self.server.cluster.failure_detector
+        heartbeats_on = bool(self.server.cluster.heartbeat_services)
+        deadline = self.sim.now + self.params.failure.reply_timeout
+        slice_ = (
+            self.params.failure.heartbeat_interval
+            if heartbeats_on
+            else self.params.failure.reply_timeout
+        )
+        while True:
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                return None
+            msg = yield from self.recv(
+                inbox,
+                kinds=frozenset({MsgKind.UPDATED, MsgKind.NOT_PREPARED}),
+                timeout=min(slice_, remaining),
+            )
+            if msg is not None:
+                return msg
+            if heartbeats_on and detector.suspects(self.me, worker):
+                self.trace.emit(
+                    "early_suspicion", self.me, txn=txn_id, worker=worker
+                )
+                return None
+
+    def _probe_worker(self, txn_id: int, worker: str) -> Generator:
+        """Fence the worker and read its shared log (§III-C case 2)."""
+        self.trace.emit("probe_start", self.me, txn=txn_id, worker=worker)
+        result = yield from probe_worker_log(self.server.cluster, self.me, worker, txn_id)
+        return result.committed
+
+    def _commit_self(self, txn_id: int, updates=None) -> Generator:
+        """Force UPDATES+COMMITTED, then harden the stable image."""
+        if updates is None:
+            updates = self._committed_updates(txn_id)
+        yield from self.wal.force(
+            self.updates_rec(txn_id, updates),
+            self.state_rec(RecordKind.COMMITTED, txn_id),
+        )
+        self.store.commit_durable(txn_id)
+
+    def _committed_updates(self, txn_id: int):
+        """Updates of a transaction that may already be cache-committed."""
+        pending = self.store._pending_harden.get(txn_id)
+        if pending is not None:
+            return list(pending)
+        return self.store.updates_of(txn_id)
+
+    def _abort(self, txn: Transaction, reason: str) -> Generator:
+        txn_id = txn.txn_id
+        yield from self.wal.force(self.state_rec(RecordKind.ABORTED, txn_id, reason=reason))
+        self.store.abort(txn_id)
+        self.locks.release_all(txn_id)
+        replied_at = self.reply_to_client(txn, committed=False, reason=reason)
+        self.wal.checkpoint(txn_id)
+        return self.outcome(txn, committed=False, replied_at=replied_at, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+
+    def worker_session(self, first: Message, inbox) -> Generator:
+        txn_id, coordinator = first.txn_id, first.src
+        try:
+            if first.kind != MsgKind.UPDATE_REQ or not first.payload.get("commit"):
+                self.send(coordinator, MsgKind.NOT_PREPARED, txn_id)
+                return None
+            if self.wal.has(RecordKind.COMMITTED, txn_id) or self.store.has_applied(txn_id):
+                # Duplicate request (coordinator re-executed after a
+                # crash): we already committed — just re-acknowledge.
+                self.send(coordinator, MsgKind.UPDATED, txn_id, ok=True)
+                yield from self._await_ack_and_finalize(txn_id, coordinator, inbox)
+                return None
+
+            updates = self.decode_updates(first.payload)
+            try:
+                if self.server.fail_next_vote:
+                    self.server.fail_next_vote = False
+                    raise TransactionAborted("injected vote failure")
+                yield from self.lock_all(txn_id, self._lock_targets(updates))
+                yield from self.apply_updates(txn_id, updates)
+                # The worker's commit *is* its vote.
+                updates_rec = self.updates_rec(txn_id, self.store.updates_of(txn_id))
+                yield from self.wal.force(
+                    updates_rec,
+                    self.state_rec(RecordKind.COMMITTED, txn_id, coordinator=coordinator),
+                )
+            except TransactionAborted as aborted:
+                self.store.abort(txn_id)
+                self.locks.release_all(txn_id)
+                self.send(coordinator, MsgKind.NOT_PREPARED, txn_id, reason=aborted.reason)
+                return None
+            except (FencedError, LogLostError):
+                # Fenced mid-commit (the coordinator gave up on us) or
+                # crashed log: the commit never became durable, so the
+                # coordinator will read "no entry" and abort.  Drop
+                # everything locally.
+                self.store.abort(txn_id)
+                self.locks.release_all(txn_id)
+                self.trace.emit("worker_fenced_mid_commit", self.me, txn=txn_id)
+                return None
+            self.store.commit_durable(txn_id)
+            self.locks.release_all(txn_id)
+            self.send(coordinator, MsgKind.UPDATED, txn_id, ok=True)
+            yield from self._await_ack_and_finalize(txn_id, coordinator, inbox)
+            return None
+        finally:
+            self.server.close_session(txn_id)
+
+    @staticmethod
+    def _lock_targets(updates) -> list:
+        seen: dict = {}
+        for update in updates:
+            seen.setdefault(update.target())
+        return list(seen)
+
+    def _await_ack_and_finalize(self, txn_id: int, coordinator: str, inbox) -> Generator:
+        """Wait for the coordinator's ACK, then finalise with ENDED.
+
+        A duplicate commit-carrying UPDATE_REQ in the meantime means
+        the coordinator crashed and is re-executing from its redo
+        record: re-acknowledge with UPDATED (we already committed).
+        """
+        asked = False
+        while True:
+            msg = yield from self.recv(
+                inbox,
+                kinds=frozenset({MsgKind.ACK, MsgKind.UPDATE_REQ}),
+                timeout=self.params.failure.reply_timeout * ACK_WAIT_FACTOR,
+            )
+            if msg is None:
+                if asked:
+                    self.trace.emit("worker_unfinalized", self.me, txn=txn_id)
+                    return
+                # §III-C: ask the coordinator to resend the ACKNOWLEDGE.
+                self.send(coordinator, MsgKind.ACK_REQ, txn_id)
+                asked = True
+                continue
+            if msg.kind == MsgKind.UPDATE_REQ:
+                self.send(msg.src, MsgKind.UPDATED, txn_id, ok=True)
+                continue
+            break
+        self._finalize(txn_id)
+
+    def _finalize(self, txn_id: int) -> None:
+        """Lazy ENDED, then garbage-collect once it is durable."""
+        flush = self.wal.append_lazy(self.state_rec(RecordKind.ENDED, txn_id))
+        flush.callbacks.append(lambda ev, t=txn_id: self.wal.checkpoint(t) if ev.ok else None)
+
+    # ------------------------------------------------------------------
+    # Recovery (§III-C)
+    # ------------------------------------------------------------------
+
+    def recover(self) -> Generator:
+        for txn_id in self.wal.open_transactions():
+            records = self.wal.records_for(txn_id)
+            if not self.owns_txn(records):
+                continue
+            state = self.wal.last_state(txn_id)
+            if any(r.kind == RecordKind.STARTED for r in records):
+                yield from self._recover_coordinator(txn_id, state, records)
+            else:
+                yield from self._recover_worker(txn_id, state, records)
+
+    def _recover_coordinator(self, txn_id: int, state, records) -> Generator:
+        if state == RecordKind.STARTED:
+            # "The coordinator restarts the transaction from the
+            # beginning" using the redo record.
+            plan = self._plan_from_redo(records)
+            if plan is None:
+                self.trace.emit("recovery", self.me, txn=txn_id, action="redo-missing")
+                return
+            yield from self._re_execute(txn_id, plan)
+        elif state == RecordKind.COMMITTED:
+            # "The transaction is already committed and the coordinator
+            # does nothing."  We still fold the updates if the crash hit
+            # between the log force and the fold.
+            if not self.store.has_applied(txn_id):
+                yield from self._reapply_logged_updates(txn_id, records)
+                self.store.commit_durable(txn_id)
+            self.wal.checkpoint(txn_id)
+            self.trace.emit("recovery", self.me, txn=txn_id, action="already-committed")
+        elif state == RecordKind.ABORTED:
+            self.wal.checkpoint(txn_id)
+
+    def _re_execute(self, txn_id: int, plan: OpPlan) -> Generator:
+        """Redo-record replay: run the transaction again end to end."""
+        self.trace.emit("recovery", self.me, txn=txn_id, action="redo")
+        inbox = self.server.open_session(txn_id)
+        try:
+            try:
+                yield from self.lock_all(txn_id, plan.locks(self.me))
+                yield from self.apply_updates(txn_id, plan.updates[self.me])
+            except TransactionAborted as aborted:
+                # Replay of our own logged operation cannot conflict
+                # unless the transaction already committed once.
+                self.store.abort(txn_id)
+                self.locks.release_all(txn_id)
+                yield from self.wal.force(
+                    self.state_rec(RecordKind.ABORTED, txn_id, reason=aborted.reason)
+                )
+                self.wal.checkpoint(txn_id)
+                return
+            workers = [n for n in plan.participants if n != self.me]
+            if workers:
+                worker = workers[0]
+                self.send(
+                    worker,
+                    MsgKind.UPDATE_REQ,
+                    txn_id,
+                    updates=[u.describe() for u in plan.updates[worker]],
+                    op=plan.op,
+                    commit=True,
+                )
+                msg = yield from self.recv(
+                    inbox,
+                    kinds=frozenset({MsgKind.UPDATED, MsgKind.NOT_PREPARED}),
+                    timeout=self.params.failure.reply_timeout,
+                )
+                committed = msg is not None and msg.kind == MsgKind.UPDATED
+                if msg is None:
+                    committed = yield from self._probe_worker(txn_id, worker)
+                if not committed:
+                    self.store.abort(txn_id)
+                    self.locks.release_all(txn_id)
+                    yield from self.wal.force(
+                        self.state_rec(RecordKind.ABORTED, txn_id, reason="redo failed")
+                    )
+                    self.wal.checkpoint(txn_id)
+                    return
+            self.locks.release_all(txn_id)
+            yield from self._commit_self(txn_id)
+            for worker in workers:
+                self.send(worker, MsgKind.ACK, txn_id)
+            self.wal.checkpoint(txn_id)
+            self.trace.emit("recovery", self.me, txn=txn_id, action="redo-committed")
+        finally:
+            self.server.close_session(txn_id)
+
+    def _recover_worker(self, txn_id: int, state, records) -> Generator:
+        if state == RecordKind.COMMITTED:
+            # "The worker asks the coordinator to resend the
+            # ACKNOWLEDGE message."
+            if not self.store.has_applied(txn_id):
+                yield from self._reapply_logged_updates(txn_id, records)
+                self.store.commit_durable(txn_id)
+            coordinator = self._coordinator_from(records)
+            inbox = self.server.open_session(txn_id)
+            try:
+                if coordinator is None:
+                    return
+                self.send(coordinator, MsgKind.ACK_REQ, txn_id)
+                msg = yield from self.recv(
+                    inbox,
+                    kinds=frozenset({MsgKind.ACK}),
+                    timeout=self.params.failure.reply_timeout * ACK_WAIT_FACTOR,
+                )
+                if msg is not None:
+                    self._finalize(txn_id)
+                self.trace.emit("recovery", self.me, txn=txn_id, action="ack-requested")
+            finally:
+                self.server.close_session(txn_id)
+        elif state == RecordKind.ENDED:
+            # "The coordinator has committed and it does not need the
+            # log anymore."
+            self.wal.checkpoint(txn_id)
+
+    def _reapply_logged_updates(self, txn_id: int, records) -> Generator:
+        from repro.fs.objects import update_from_description
+
+        for record in records:
+            if record.kind == RecordKind.UPDATES:
+                for desc in record.payload.get("updates", []):
+                    yield self.sim.timeout(self.params.compute.write_latency)
+                    self.store.apply(txn_id, update_from_description(desc))
+
+    def _plan_from_redo(self, records) -> Optional[OpPlan]:
+        from repro.fs.objects import update_from_description
+
+        for record in records:
+            if record.kind == RecordKind.REDO:
+                desc = record.payload["plan"]
+                updates = {
+                    node: [update_from_description(d) for d in descs]
+                    for node, descs in desc["updates"].items()
+                }
+                return OpPlan(
+                    op=desc["op"],
+                    path=desc["path"],
+                    updates=updates,
+                    coordinator=desc["coordinator"],
+                    detail=dict(desc.get("detail", {})),
+                )
+        return None
+
+    @staticmethod
+    def _coordinator_from(records) -> Optional[str]:
+        for record in records:
+            if "coordinator" in record.payload:
+                return record.payload["coordinator"]
+        return None
+
+    # ------------------------------------------------------------------
+    # Stray messages
+    # ------------------------------------------------------------------
+
+    def handle_stray(self, msg: Message):
+        if msg.kind == MsgKind.ACK_REQ:
+            # A recovered worker wants its ACK.  If our log has no entry
+            # the transaction was committed and checkpointed; if it has
+            # COMMITTED we committed too.  Either way: ACK.
+            state = self.wal.last_state(msg.txn_id)
+
+            def respond():
+                if state in (None, RecordKind.COMMITTED, RecordKind.ENDED):
+                    self.send(msg.src, MsgKind.ACK, msg.txn_id)
+                return None
+                yield  # pragma: no cover - generator marker
+
+            return respond()
+        if msg.kind == MsgKind.ACK and self.wal.last_state(msg.txn_id) == RecordKind.COMMITTED:
+            # Late ACK for a worker whose session is gone.
+            def finalize():
+                self._finalize(msg.txn_id)
+                return None
+                yield  # pragma: no cover - generator marker
+
+            return finalize()
+        if msg.kind == MsgKind.UPDATE_REQ and msg.payload.get("commit"):
+            # Duplicate commit-carrying request after both sides
+            # recovered: answer from the log.
+            if self.wal.has(RecordKind.COMMITTED, msg.txn_id) or self.store.has_applied(
+                msg.txn_id
+            ):
+                def re_ack():
+                    self.send(msg.src, MsgKind.UPDATED, msg.txn_id, ok=True)
+                    return None
+                    yield  # pragma: no cover - generator marker
+
+                return re_ack()
+        return super().handle_stray(msg)

@@ -1,0 +1,178 @@
+"""Declarative fault actions and schedules.
+
+A fault fires either at an absolute virtual time (``at=...``) or when a
+trace predicate first becomes true (``when=...``, checked after every
+simulation step by the plan's watcher process).  Trace-triggered faults
+make crash-point tests readable::
+
+    FaultPlan([
+        CrashFault("mds2", when=lambda t: t.count("log_durable",
+                                                  kind="PREPARED") > 0),
+        ...
+    ]).install(cluster)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mds.cluster import Cluster
+    from repro.sim import TraceLog
+
+TracePredicate = Callable[["TraceLog"], bool]
+
+#: How often trace-triggered faults are polled (seconds, virtual).
+POLL_INTERVAL = 50e-6
+
+
+@dataclass
+class Fault:
+    """Base fault: a trigger plus an action."""
+
+    #: Absolute virtual firing time; mutually exclusive with ``when``.
+    at: Optional[float] = None
+    #: Trace predicate; fires on the first poll where it returns True.
+    when: Optional[TracePredicate] = None
+    #: Set once the fault has fired.
+    fired: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if (self.at is None) == (self.when is None):
+            raise ValueError("exactly one of 'at' or 'when' must be given")
+
+    def apply(self, cluster: "Cluster") -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        trigger = f"at={self.at}" if self.at is not None else "on-trace"
+        return f"{type(self).__name__}({trigger})"
+
+
+@dataclass
+class CrashFault(Fault):
+    """Crash a server; optionally schedule its restart."""
+
+    node: str = ""
+    #: Seconds after the crash to restart; None = use the cluster's
+    #: reboot delay; float("inf") = never restart.
+    restart_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ValueError("CrashFault requires a node")
+
+    def apply(self, cluster: "Cluster") -> None:
+        cluster.crash_server(self.node)
+        delay = (
+            cluster.params.failure.reboot_delay
+            if self.restart_after is None
+            else self.restart_after
+        )
+        if delay != float("inf"):
+            cluster.restart_server(self.node, after=delay)
+
+
+@dataclass
+class PartitionFault(Fault):
+    """Split the network; optionally heal after ``heal_after`` seconds."""
+
+    groups: Sequence[frozenset] = ()
+    heal_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.groups:
+            raise ValueError("PartitionFault requires at least one group")
+
+    def apply(self, cluster: "Cluster") -> None:
+        cluster.partition(*self.groups)
+        if self.heal_after is not None:
+            cluster.sim.call_at(
+                cluster.sim.now + self.heal_after, cluster.heal_partition
+            )
+
+
+@dataclass
+class LinkFault(Fault):
+    """Fail one link; optionally restore it."""
+
+    a: str = ""
+    b: str = ""
+    restore_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.a or not self.b:
+            raise ValueError("LinkFault requires both endpoints")
+
+    def apply(self, cluster: "Cluster") -> None:
+        cluster.network.fail_link(self.a, self.b)
+        if self.restore_after is not None:
+            cluster.sim.call_at(
+                cluster.sim.now + self.restore_after,
+                lambda: cluster.network.restore_link(self.a, self.b),
+            )
+
+
+@dataclass
+class VoteRefusalFault(Fault):
+    """Make a server refuse its next worker-side vote."""
+
+    node: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ValueError("VoteRefusalFault requires a node")
+
+    def apply(self, cluster: "Cluster") -> None:
+        cluster.servers[self.node].fail_next_vote = True
+
+
+class FaultPlan:
+    """An ordered schedule of faults bound to a cluster."""
+
+    def __init__(self, faults: Iterable[Fault]):
+        self.faults = list(faults)
+        self.installed = False
+
+    def install(self, cluster: "Cluster") -> None:
+        """Arm every fault on ``cluster``."""
+        if self.installed:
+            raise RuntimeError("fault plan already installed")
+        self.installed = True
+        timed = [f for f in self.faults if f.at is not None]
+        watched = [f for f in self.faults if f.when is not None]
+        for fault in timed:
+            cluster.sim.call_at(fault.at, self._firer(cluster, fault))
+        if watched:
+            cluster.sim.process(self._watch(cluster, watched), name="fault-watcher")
+
+    @staticmethod
+    def _firer(cluster: "Cluster", fault: Fault) -> Callable[[], None]:
+        def fire() -> None:
+            if not fault.fired:
+                fault.fired = True
+                cluster.trace.emit("fault", "injector", fault=fault.describe())
+                fault.apply(cluster)
+
+        return fire
+
+    def _watch(self, cluster: "Cluster", watched: list[Fault]):
+        pending = list(watched)
+        while pending:
+            yield cluster.sim.timeout(POLL_INTERVAL)
+            for fault in list(pending):
+                if fault.when(cluster.trace):
+                    fault.fired = True
+                    cluster.trace.emit("fault", "injector", fault=fault.describe())
+                    fault.apply(cluster)
+                    pending.remove(fault)
+
+    @property
+    def all_fired(self) -> bool:
+        """True once every fault in the plan has fired."""
+        return all(f.fired for f in self.faults)

@@ -1,0 +1,116 @@
+"""File-system invariant checking (§II).
+
+The two invariants the paper derives from its DELETE failure scenarios:
+
+(a) *no dangling references*: if there is a name that references a
+    file, then that file (inode) exists;
+(b) *no orphaned inodes*: if a file exists, it is referenced at least
+    once in the namespace.
+
+We additionally check that link counts agree with the number of
+dentries, and that no two MDSs claim the same directory or inode.
+The checker runs over the union of all MDS stable images — i.e. the
+state that would survive a whole-cluster restart — which is exactly the
+state an atomic commitment protocol must keep consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.fs.objects import FileType, Inode
+from repro.fs.store import MetadataStore
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected inconsistency."""
+
+    rule: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.rule}] {self.subject}: {self.detail}"
+
+
+def check_invariants(
+    stores: Iterable[MetadataStore], allow_directory_orphans: bool = True
+) -> list[InvariantViolation]:
+    """All violations across the cluster's committed state.
+
+    ``allow_directory_orphans`` exempts directories from rule (b):
+    directories are bootstrapped outside transactions (mkdir in the
+    stable image) and the root has no parent dentry.
+    """
+    stores = list(stores)
+    violations: list[InvariantViolation] = []
+
+    # Union the images, flagging double ownership on the way.
+    directories: dict[str, dict[str, int]] = {}
+    dir_owner: dict[str, str] = {}
+    inodes: dict[int, Inode] = {}
+    inode_owner: dict[int, str] = {}
+    for store in stores:
+        for path, entries in store.stable_directories.items():
+            if path in directories:
+                violations.append(
+                    InvariantViolation(
+                        "unique-ownership",
+                        path,
+                        f"directory owned by both {dir_owner[path]} and {store.node}",
+                    )
+                )
+                continue
+            directories[path] = entries
+            dir_owner[path] = store.node
+        for ino, inode in store.stable_inodes.items():
+            if ino in inodes:
+                violations.append(
+                    InvariantViolation(
+                        "unique-ownership",
+                        f"inode {ino}",
+                        f"inode owned by both {inode_owner[ino]} and {store.node}",
+                    )
+                )
+                continue
+            inodes[ino] = inode
+            inode_owner[ino] = store.node
+
+    # Count references.
+    refs: dict[int, int] = {}
+    for path, entries in directories.items():
+        for name, ino in entries.items():
+            refs[ino] = refs.get(ino, 0) + 1
+            if ino not in inodes:
+                violations.append(
+                    InvariantViolation(
+                        "no-dangling-reference",
+                        f"{path.rstrip('/')}/{name}",
+                        f"references inode {ino}, which does not exist",
+                    )
+                )
+
+    for ino, inode in inodes.items():
+        referenced = refs.get(ino, 0)
+        if referenced == 0:
+            if allow_directory_orphans and inode.ftype is FileType.DIRECTORY:
+                continue
+            violations.append(
+                InvariantViolation(
+                    "no-orphaned-inode",
+                    f"inode {ino}",
+                    "exists but is not referenced anywhere in the namespace",
+                )
+            )
+        elif inode.nlink != referenced:
+            violations.append(
+                InvariantViolation(
+                    "link-count",
+                    f"inode {ino}",
+                    f"nlink={inode.nlink} but referenced {referenced} times",
+                )
+            )
+
+    return violations

@@ -1,0 +1,256 @@
+"""Metadata objects and the updates that mutate them.
+
+Objects are identified by :class:`ObjectId`: directories by path,
+inodes by inode number.  The lock manager locks ``ObjectId``s; the
+metadata store applies :class:`Update`s to them.
+
+Updates are small, serialisable command objects — exactly what a
+write-ahead log or a 1PC redo record stores — with an ``apply`` method
+executed against a store image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fs.store import _Image
+
+
+class FileType(str, Enum):
+    FILE = "file"
+    DIRECTORY = "dir"
+
+
+@dataclass(frozen=True)
+class ObjectId:
+    """A lockable, locatable metadata object.
+
+    ``kind`` is ``"dir"`` (directory, keyed by absolute path) or
+    ``"inode"`` (keyed by inode number rendered as a string).
+    """
+
+    kind: str
+    key: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dir", "inode"):
+            raise ValueError(f"unknown object kind {self.kind!r}")
+
+    @staticmethod
+    def directory(path: str) -> "ObjectId":
+        return ObjectId("dir", path)
+
+    @staticmethod
+    def inode(ino: int) -> "ObjectId":
+        return ObjectId("inode", str(ino))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}:{self.key}"
+
+
+@dataclass
+class Inode:
+    """An inode: type plus a link count (the data path is out of scope)."""
+
+    ino: int
+    ftype: FileType
+    nlink: int = 1
+
+    def copy(self) -> "Inode":
+        return Inode(self.ino, self.ftype, self.nlink)
+
+
+class UpdateError(Exception):
+    """An update could not be applied (missing object, duplicate name...)."""
+
+
+@dataclass(frozen=True)
+class Update:
+    """Base class for metadata updates.  Subclasses define ``target``
+    (the ObjectId they lock/modify) and ``apply``."""
+
+    def target(self) -> ObjectId:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, image: "_Image") -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        """Serialisable form (stored in redo records)."""
+        return {"type": type(self).__name__, **self.__dict__}
+
+
+@dataclass(frozen=True)
+class AddDentry(Update):
+    """Link ``name`` -> ``ino`` into directory ``dir_path``."""
+
+    dir_path: str
+    name: str
+    ino: int
+
+    def target(self) -> ObjectId:
+        return ObjectId.directory(self.dir_path)
+
+    def apply(self, image: "_Image") -> None:
+        entries = image.directory(self.dir_path)
+        if self.name in entries:
+            raise UpdateError(f"{self.dir_path}/{self.name} already exists")
+        entries[self.name] = self.ino
+
+
+@dataclass(frozen=True)
+class RemoveDentry(Update):
+    """Unlink ``name`` from directory ``dir_path``."""
+
+    dir_path: str
+    name: str
+
+    def target(self) -> ObjectId:
+        return ObjectId.directory(self.dir_path)
+
+    def apply(self, image: "_Image") -> None:
+        entries = image.directory(self.dir_path)
+        if self.name not in entries:
+            raise UpdateError(f"{self.dir_path}/{self.name} does not exist")
+        del entries[self.name]
+
+
+@dataclass(frozen=True)
+class CreateInode(Update):
+    """Materialise a fresh inode with link count 1."""
+
+    ino: int
+    ftype: FileType = FileType.FILE
+
+    def target(self) -> ObjectId:
+        return ObjectId.inode(self.ino)
+
+    def apply(self, image: "_Image") -> None:
+        if image.has_inode(self.ino):
+            raise UpdateError(f"inode {self.ino} already exists")
+        image.set_inode(Inode(self.ino, self.ftype, nlink=1))
+
+
+@dataclass(frozen=True)
+class IncLink(Update):
+    """Increment an inode's link count (RENAME-over / hard link)."""
+
+    ino: int
+
+    def target(self) -> ObjectId:
+        return ObjectId.inode(self.ino)
+
+    def apply(self, image: "_Image") -> None:
+        inode = image.inode(self.ino)
+        if inode is None:
+            raise UpdateError(f"inode {self.ino} does not exist")
+        inode.nlink += 1
+
+
+@dataclass(frozen=True)
+class DecLink(Update):
+    """Decrement an inode's link count; delete it at zero (§II DELETE
+    step (b): update the reference counter and optionally delete)."""
+
+    ino: int
+
+    def target(self) -> ObjectId:
+        return ObjectId.inode(self.ino)
+
+    def apply(self, image: "_Image") -> None:
+        inode = image.inode(self.ino)
+        if inode is None:
+            raise UpdateError(f"inode {self.ino} does not exist")
+        inode.nlink -= 1
+        if inode.nlink <= 0:
+            image.del_inode(self.ino)
+
+
+@dataclass(frozen=True)
+class CreateDirTable(Update):
+    """Materialise an (empty) directory table for ``path``.
+
+    Part of a transactional MKDIR: the parent's MDS links the dentry,
+    the new directory's MDS creates its inode and this table.
+    """
+
+    path: str
+
+    def target(self) -> ObjectId:
+        return ObjectId.directory(self.path)
+
+    def apply(self, image: "_Image") -> None:
+        if self.path in image.directories:
+            raise UpdateError(f"directory {self.path!r} already exists")
+        image.directories[self.path] = {}
+
+
+@dataclass(frozen=True)
+class RemoveDirTable(Update):
+    """Drop the directory table for ``path``; fails unless empty.
+
+    The emptiness check runs where the directory lives, under its
+    exclusive lock — a concurrent create in the directory therefore
+    serialises against the RMDIR, and a non-empty directory makes the
+    worker vote NO (ENOTEMPTY).
+    """
+
+    path: str
+
+    def target(self) -> ObjectId:
+        return ObjectId.directory(self.path)
+
+    def apply(self, image: "_Image") -> None:
+        entries = image.directories.get(self.path)
+        if entries is None:
+            raise UpdateError(f"directory {self.path!r} does not exist")
+        if entries:
+            raise UpdateError(f"directory {self.path!r} is not empty")
+        del image.directories[self.path]
+
+
+@dataclass(frozen=True)
+class TouchInode(Update):
+    """Attribute-only write to an inode (mtime/parent pointer during
+    RENAME).  Semantically a no-op for the invariant checker but it
+    costs a write and a lock like any other update."""
+
+    ino: int
+
+    def target(self) -> ObjectId:
+        return ObjectId.inode(self.ino)
+
+    def apply(self, image: "_Image") -> None:
+        inode = image.inode(self.ino)
+        if inode is None:
+            raise UpdateError(f"inode {self.ino} does not exist")
+
+
+#: Registry used to revive updates from redo-record payloads.
+_UPDATE_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        AddDentry,
+        RemoveDentry,
+        CreateInode,
+        IncLink,
+        DecLink,
+        TouchInode,
+        CreateDirTable,
+        RemoveDirTable,
+    )
+}
+
+
+def update_from_description(description: dict[str, Any]) -> Update:
+    """Inverse of :meth:`Update.describe` (redo-record deserialisation)."""
+    desc = dict(description)
+    type_name = desc.pop("type")
+    if type_name not in _UPDATE_TYPES:
+        raise ValueError(f"unknown update type {type_name!r}")
+    if type_name == "CreateInode" and "ftype" in desc:
+        desc["ftype"] = FileType(desc["ftype"])
+    return _UPDATE_TYPES[type_name](**desc)

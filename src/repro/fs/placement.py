@@ -1,0 +1,121 @@
+"""Metadata distribution policies.
+
+§I of the paper: "it therefore makes sense to spread the files within
+the directory across multiple MDSs and use the proposed protocol to
+handle distributed transactions."  A placement policy decides which MDS
+is responsible for each metadata object; when a file and its parent
+directory land on different servers, the namespace operation becomes a
+distributed transaction.
+
+* :class:`HashPlacement` -- hash of the object key (the "spread files
+  across MDSs" strategy that maximises distribution).
+* :class:`SubtreePlacement` -- directories pin subtrees (Ceph-style
+  locality; distributed transactions become rare).
+* :class:`RoundRobinPlacement` -- deterministic striping of inodes
+  across servers, directories pinned by hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Protocol, Sequence
+
+from repro.fs.objects import ObjectId
+
+
+def _stable_hash(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class PlacementPolicy(Protocol):
+    """Maps metadata objects to the MDS responsible for them."""
+
+    def place(self, obj: ObjectId) -> str:  # pragma: no cover - protocol
+        ...
+
+
+class HashPlacement:
+    """Uniform pseudo-random placement by stable hash of the object key."""
+
+    def __init__(self, nodes: Sequence[str]):
+        if not nodes:
+            raise ValueError("placement requires at least one node")
+        self.nodes = list(nodes)
+
+    def place(self, obj: ObjectId) -> str:
+        return self.nodes[_stable_hash(f"{obj.kind}:{obj.key}") % len(self.nodes)]
+
+
+class SubtreePlacement:
+    """Pin whole subtrees to servers: an object belongs to the server of
+    the nearest ancestor in ``subtree_map`` (longest-prefix match).
+
+    Inodes are co-located with their *home directory*, supplied by the
+    planner via the path hint; bare inode ids fall back to hashing.
+    """
+
+    def __init__(self, nodes: Sequence[str], subtree_map: dict[str, str]):
+        if not nodes:
+            raise ValueError("placement requires at least one node")
+        unknown = set(subtree_map.values()) - set(nodes)
+        if unknown:
+            raise ValueError(f"subtree map names unknown nodes {sorted(unknown)}")
+        if "/" not in subtree_map:
+            raise ValueError("subtree map must cover the root '/'")
+        self.nodes = list(nodes)
+        self.subtree_map = dict(subtree_map)
+        #: Optional hints installed by planners: inode key -> path.
+        self._inode_paths: dict[str, str] = {}
+
+    def hint_inode_path(self, ino: int, path: str) -> None:
+        self._inode_paths[str(ino)] = path
+
+    def place(self, obj: ObjectId) -> str:
+        if obj.kind == "dir":
+            path = obj.key
+        else:
+            path = self._inode_paths.get(obj.key)
+            if path is None:
+                return self.nodes[_stable_hash(obj.key) % len(self.nodes)]
+        best = "/"
+        for prefix in self.subtree_map:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                if len(prefix) > len(best):
+                    best = prefix
+        return self.subtree_map[best]
+
+
+class RoundRobinPlacement:
+    """Inodes striped across nodes by inode number; directories hashed."""
+
+    def __init__(self, nodes: Sequence[str]):
+        if not nodes:
+            raise ValueError("placement requires at least one node")
+        self.nodes = list(nodes)
+
+    def place(self, obj: ObjectId) -> str:
+        if obj.kind == "inode":
+            return self.nodes[int(obj.key) % len(self.nodes)]
+        return self.nodes[_stable_hash(obj.key) % len(self.nodes)]
+
+
+class PinnedPlacement:
+    """Explicit object -> node map with a fallback policy.
+
+    Handy in tests and experiments that need a specific distribution
+    (e.g. "parent directory on mds1, new inodes on mds2" to force every
+    CREATE to be a distributed transaction, as in the Figure 6
+    workload).
+    """
+
+    def __init__(self, pins: dict[ObjectId, str], fallback: PlacementPolicy):
+        self.pins = dict(pins)
+        self.fallback = fallback
+
+    def place(self, obj: ObjectId) -> str:
+        if obj in self.pins:
+            return self.pins[obj]
+        return self.fallback.place(obj)
+
+    def pin(self, obj: ObjectId, node: str) -> None:
+        self.pins[obj] = node

@@ -1,0 +1,205 @@
+"""Per-MDS metadata store with transactional overlays.
+
+Each MDS holds three layers of metadata state:
+
+* per-transaction **overlays** -- volatile updates a transaction has
+  applied but not committed (§II: servers "perform their local updates
+  in the cache" before the commit protocol runs);
+* the **cache** image -- committed state as the server currently sees
+  it, including transactions whose log writes are still in flight (the
+  1PC coordinator commits "asynchronously from the point of view of
+  the client": its updates are visible in the cache while the forced
+  write happens off the critical path);
+* the **stable** image -- state whose log records are durable.  This is
+  what survives a crash and what the invariant checker inspects.
+
+``commit`` folds an overlay into the cache; ``harden`` folds the same
+updates into the stable image once the corresponding log write is
+durable (protocols call the combined ``commit_durable`` when the two
+coincide).  ``abort`` discards an overlay; ``crash`` discards every
+overlay *and* resets the cache to the stable image — volatile state is
+gone, exactly what reboot-time recovery must rebuild from the log.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fs.objects import Inode, Update, UpdateError
+
+
+class _Image:
+    """A metadata image: directories (path -> {name: ino}) + inodes."""
+
+    def __init__(self) -> None:
+        self.directories: dict[str, dict[str, int]] = {}
+        self.inodes: dict[int, Inode] = {}
+
+    def copy(self) -> "_Image":
+        clone = _Image()
+        clone.directories = {p: dict(e) for p, e in self.directories.items()}
+        clone.inodes = {i: n.copy() for i, n in self.inodes.items()}
+        return clone
+
+    # -- accessors used by Update.apply -------------------------------------
+
+    def directory(self, path: str) -> dict[str, int]:
+        if path not in self.directories:
+            raise UpdateError(f"directory {path!r} does not exist here")
+        return self.directories[path]
+
+    def has_inode(self, ino: int) -> bool:
+        return ino in self.inodes
+
+    def inode(self, ino: int) -> Optional[Inode]:
+        return self.inodes.get(ino)
+
+    def set_inode(self, inode: Inode) -> None:
+        self.inodes[inode.ino] = inode
+
+    def del_inode(self, ino: int) -> None:
+        self.inodes.pop(ino, None)
+
+
+class MetadataStore:
+    """One MDS's share of the namespace, with transactional overlays."""
+
+    def __init__(self, node: str):
+        self.node = node
+        self._stable = _Image()
+        self._cache = _Image()
+        #: txn_id -> (overlay image, updates applied in order)
+        self._overlays: dict[int, tuple[_Image, list[Update]]] = {}
+        #: Committed-in-cache transactions whose log force is pending:
+        #: txn_id -> updates (in commit order, for hardening).
+        self._pending_harden: dict[int, list[Update]] = {}
+        #: Transactions already folded into the stable image.  Survives
+        #: crashes (models the replay watermark a real WAL keeps) so
+        #: that recovery never double-applies a committed transaction.
+        self._applied: set[int] = set()
+
+    # -- provisioning (outside any transaction; test/bootstrap path) ------------
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory directly in the stable + cache images."""
+        if path in self._stable.directories:
+            raise UpdateError(f"directory {path!r} already exists")
+        self._stable.directories[path] = {}
+        self._cache.directories[path] = {}
+
+    def adopt_inode(self, inode: Inode) -> None:
+        """Install an inode directly in the stable + cache images."""
+        self._stable.set_inode(inode)
+        self._cache.set_inode(inode.copy())
+
+    # -- transactional path ----------------------------------------------------
+
+    def apply(self, txn_id: int, update: Update) -> None:
+        """Apply ``update`` in ``txn_id``'s volatile overlay.
+
+        Raises :class:`UpdateError` if the update is inconsistent with
+        the (overlaid) cache image; the caller then aborts.
+        """
+        if txn_id not in self._overlays:
+            self._overlays[txn_id] = (self._cache.copy(), [])
+        image, updates = self._overlays[txn_id]
+        update.apply(image)
+        updates.append(update)
+
+    def updates_of(self, txn_id: int) -> list[Update]:
+        if txn_id not in self._overlays:
+            return []
+        return list(self._overlays[txn_id][1])
+
+    def commit(self, txn_id: int) -> None:
+        """Fold ``txn_id``'s overlay into the cache image.
+
+        Idempotent: committing an unknown or already-applied
+        transaction is a no-op, so recovery can blindly re-commit.
+        """
+        entry = self._overlays.pop(txn_id, None)
+        if entry is None:
+            return
+        if txn_id in self._applied or txn_id in self._pending_harden:
+            return
+        _image, updates = entry
+        # Apply to a scratch image first so a conflicting update (only
+        # possible when the caller bypassed 2PL) cannot leave a partial
+        # commit behind.
+        scratch = self._cache.copy()
+        for update in updates:
+            update.apply(scratch)
+        self._cache = scratch
+        self._pending_harden[txn_id] = updates
+
+    def harden(self, txn_id: int) -> None:
+        """Fold a committed transaction into the stable image (its log
+        records are durable now)."""
+        updates = self._pending_harden.pop(txn_id, None)
+        if updates is None or txn_id in self._applied:
+            return
+        scratch = self._stable.copy()
+        for update in updates:
+            update.apply(scratch)
+        self._stable = scratch
+        self._applied.add(txn_id)
+
+    def commit_durable(self, txn_id: int) -> None:
+        """Commit and harden in one step (for protocols whose fold
+        happens after the forced log write)."""
+        self.commit(txn_id)
+        self.harden(txn_id)
+
+    def abort(self, txn_id: int) -> None:
+        """Discard ``txn_id``'s overlay (no-op when absent)."""
+        self._overlays.pop(txn_id, None)
+
+    def crash(self) -> None:
+        """Volatile state loss: overlays and unhardened commits vanish;
+        the cache reverts to the stable (log-backed) image."""
+        self._overlays.clear()
+        self._pending_harden.clear()
+        self._cache = self._stable.copy()
+
+    def in_flight(self) -> list[int]:
+        return sorted(self._overlays)
+
+    def unhardened(self) -> list[int]:
+        return sorted(self._pending_harden)
+
+    def has_applied(self, txn_id: int) -> bool:
+        """True when ``txn_id``'s updates are in the stable image
+        (recovery must not replay them)."""
+        return txn_id in self._applied
+
+    def is_visible(self, txn_id: int) -> bool:
+        """True when ``txn_id``'s updates are visible to reads."""
+        return txn_id in self._applied or txn_id in self._pending_harden
+
+    # -- reads (served from the cache image, as a real MDS would) ----------------
+
+    def lookup(self, dir_path: str, name: str) -> Optional[int]:
+        entries = self._cache.directories.get(dir_path)
+        if entries is None:
+            return None
+        return entries.get(name)
+
+    def listdir(self, dir_path: str) -> dict[str, int]:
+        return dict(self._cache.directories.get(dir_path, {}))
+
+    def has_dir(self, dir_path: str) -> bool:
+        return dir_path in self._cache.directories
+
+    def inode(self, ino: int) -> Optional[Inode]:
+        node = self._cache.inode(ino)
+        return node.copy() if node is not None else None
+
+    # -- durable views (what a whole-cluster restart would recover) ---------------
+
+    @property
+    def stable_directories(self) -> dict[str, dict[str, int]]:
+        return {p: dict(e) for p, e in self._stable.directories.items()}
+
+    @property
+    def stable_inodes(self) -> dict[int, Inode]:
+        return {i: n.copy() for i, n in self._stable.inodes.items()}

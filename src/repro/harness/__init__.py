@@ -1,0 +1,50 @@
+"""Experiment harness.
+
+One module per paper artifact plus the extension sweeps:
+
+* :mod:`repro.harness.scenarios` -- shared cluster builders (the
+  forced-distributed placement the Figure 6 workload needs).
+* :mod:`repro.harness.table1` -- Table I (analytical + measured).
+* :mod:`repro.harness.figure6` -- Figure 6 (ops/s per protocol).
+* :mod:`repro.harness.diagrams` -- Figures 2-5 (protocol timelines
+  regenerated from traces).
+* :mod:`repro.harness.sweeps` -- extension experiments (latency, disk
+  bandwidth, burst size, abort rate).
+* :mod:`repro.harness.recovery` -- crash/recovery timing experiment.
+
+Submodules are imported lazily: the workload generators import
+``repro.harness.scenarios``, and the figure/table modules import the
+workload generators back.
+"""
+
+from repro.harness.scenarios import (
+    ForcedDistributedPlacement,
+    burst_cluster,
+    distributed_create_cluster,
+)
+
+__all__ = [
+    "Figure6Result",
+    "ForcedDistributedPlacement",
+    "burst_cluster",
+    "distributed_create_cluster",
+    "render_timeline",
+    "run_figure6",
+    "run_table1",
+]
+
+_LAZY = {
+    "Figure6Result": ("repro.harness.figure6", "Figure6Result"),
+    "run_figure6": ("repro.harness.figure6", "run_figure6"),
+    "run_table1": ("repro.harness.table1", "run_table1"),
+    "render_timeline": ("repro.harness.diagrams", "render_timeline"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,63 @@
+"""Figure 6: distributed namespace operations per second.
+
+Reruns the paper's experiment — 100 simultaneous distributed CREATEs
+into one directory — once per protocol and reports throughput plus the
+gain over PrN (the paper reports 1PC > +55 %, EP +6.6 %, PrC +0.39 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.tables import render_bar_chart
+from repro.config import SimulationParams
+from repro.workloads.burst import BurstResult, run_burst
+
+#: Paper's Figure 6 values (distributed transactions per second).
+PAPER_FIGURE6 = {"PrN": 15.0, "PrC": 15.06, "EP": 16.0, "1PC": 24.0}
+
+DEFAULT_PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Throughput per protocol plus derived gains."""
+
+    results: dict[str, BurstResult]
+    n: int
+
+    @property
+    def throughputs(self) -> dict[str, float]:
+        """Protocol -> transactions per second."""
+        return {name: res.throughput for name, res in self.results.items()}
+
+    def gain_over(self, baseline: str = "PrN") -> dict[str, float]:
+        """Percent throughput gain of each protocol over ``baseline``."""
+        base = self.results[baseline].throughput
+        return {
+            name: (res.throughput / base - 1.0) * 100.0
+            for name, res in self.results.items()
+            if name != baseline
+        }
+
+    def render(self) -> str:
+        """Figure 6 as an ASCII bar chart with gains annotated."""
+        return render_bar_chart(
+            self.throughputs,
+            title=f"Figure 6 — distributed namespace operations per second (burst of {self.n})",
+            unit="tx/s",
+            baseline="PrN" if "PrN" in self.results else None,
+        )
+
+
+def run_figure6(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    n: int = 100,
+    params: Optional[SimulationParams] = None,
+) -> Figure6Result:
+    """Run the Figure 6 experiment for every protocol."""
+    results = {}
+    for protocol in protocols:
+        results[protocol] = run_burst(protocol, n=n, params=params)
+    return Figure6Result(results=results, n=n)

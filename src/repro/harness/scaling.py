@@ -1,0 +1,98 @@
+"""Extension — metadata-service scaling across coordinators.
+
+The paper's §I motivation: a single MDS is a bottleneck, so the
+namespace is spread over a cluster.  This experiment measures aggregate
+distributed-create throughput as the workload fans out over 1..K
+directories, each owned by a different MDS of a 2K-server cluster
+(directory on server 2i, inodes on server 2i+1, so every create is
+still a two-MDS transaction and no server plays two roles).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SimulationParams
+from repro.fs.objects import ObjectId
+from repro.mds.cluster import Cluster
+
+
+class StripedPlacement:
+    """Directory ``/dirK`` on server ``mds<2K-1>``, its files' inodes on
+    ``mds<2K>``."""
+
+    def __init__(self, n_pairs: int):
+        self.n_pairs = n_pairs
+        self._dir_of_ino: dict[str, int] = {}
+
+    def place(self, obj: ObjectId) -> str:
+        """Directory K -> coordinator of pair K; inode -> its worker."""
+        if obj.kind == "dir":
+            index = self._dir_index(obj.key)
+            return f"mds{2 * index + 1}"
+        index = int(self._dir_of_ino.get(obj.key, 0))
+        return f"mds{2 * index + 2}"
+
+    def hint_inode_path(self, ino: int, path: str) -> None:
+        """Remember which directory (pair) an inode belongs to."""
+        dir_path = path.rsplit("/", 1)[0] or "/"
+        self._dir_of_ino[str(ino)] = self._dir_index(dir_path)
+
+    def _dir_index(self, path: str) -> int:
+        digits = "".join(ch for ch in path if ch.isdigit())
+        return (int(digits) - 1) % self.n_pairs if digits else 0
+
+    def pin(self, obj: ObjectId, node: str) -> None:
+        """Placement is fixed by construction."""
+
+
+def run_scaling_point(
+    protocol: str,
+    n_pairs: int,
+    ops_per_dir: int = 25,
+    params: Optional[SimulationParams] = None,
+) -> float:
+    """Aggregate throughput with ``n_pairs`` coordinator/worker pairs."""
+    names = [f"mds{i}" for i in range(1, 2 * n_pairs + 1)]
+    placement = StripedPlacement(n_pairs)
+    cluster = Cluster(
+        protocol=protocol,
+        server_names=names,
+        placement=placement,
+        params=params,
+        trace_enabled=False,
+    )
+    clients = []
+    for d in range(1, n_pairs + 1):
+        cluster.mkdir(f"/dir{d}")
+        clients.append(cluster.new_client())
+
+    total = n_pairs * ops_per_dir
+    start = cluster.sim.now
+    for d, client in enumerate(clients, start=1):
+        for i in range(ops_per_dir):
+            client.submit(client.plan_create(f"/dir{d}/f{i}"))
+    while len(cluster.outcomes) < total:
+        cluster.sim.step()
+    end = max(o.replied_at for o in cluster.outcomes)
+    committed = sum(1 for o in cluster.outcomes if o.committed)
+    if committed != total:
+        raise RuntimeError(f"{committed}/{total} committed at n_pairs={n_pairs}")
+    cluster.sim.run(until=cluster.sim.now + 30.0)
+    violations = cluster.check_invariants()
+    if violations:
+        raise RuntimeError(f"invariant violations at n_pairs={n_pairs}: {violations}")
+    return total / (end - start)
+
+
+def sweep_scaling(
+    protocol: str,
+    pair_counts=(1, 2, 4),
+    ops_per_dir: int = 25,
+    params: Optional[SimulationParams] = None,
+) -> dict[int, float]:
+    """Aggregate throughput for each cluster size."""
+    return {
+        k: run_scaling_point(protocol, k, ops_per_dir=ops_per_dir, params=params)
+        for k in pair_counts
+    }

@@ -1,0 +1,68 @@
+"""Shared cluster builders for the experiments.
+
+The evaluation workload (§IV) needs every CREATE to be a two-MDS
+distributed transaction: the parent directory lives on one acp server
+(the coordinator) and the new inodes on the other (the worker).
+:class:`ForcedDistributedPlacement` encodes exactly that split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SimulationParams
+from repro.fs.objects import ObjectId
+from repro.mds.client import Client
+from repro.mds.cluster import Cluster
+
+
+class ForcedDistributedPlacement:
+    """Directories on ``dir_node``, inodes on ``inode_node``.
+
+    With two servers this makes every CREATE/DELETE span both — the
+    §IV workload shape ("it makes sense to spread the files within the
+    directory across multiple MDSs").
+    """
+
+    def __init__(self, dir_node: str, inode_node: str):
+        self.dir_node = dir_node
+        self.inode_node = inode_node
+
+    def place(self, obj: ObjectId) -> str:
+        """Inodes to the worker, everything else to the coordinator."""
+        return self.inode_node if obj.kind == "inode" else self.dir_node
+
+    def pin(self, obj: ObjectId, node: str) -> None:
+        """Accepted for interface compatibility; placement is fixed."""
+
+
+def distributed_create_cluster(
+    protocol: str,
+    params: Optional[SimulationParams] = None,
+    trace_enabled: bool = True,
+) -> tuple[Cluster, Client]:
+    """A two-server cluster where every CREATE is distributed.
+
+    Returns ``(cluster, client)`` with ``/dir1`` provisioned on the
+    coordinator.
+    """
+    cluster = Cluster(
+        protocol=protocol,
+        server_names=["mds1", "mds2"],
+        params=params,
+        placement=ForcedDistributedPlacement("mds1", "mds2"),
+        trace_enabled=trace_enabled,
+    )
+    cluster.mkdir("/dir1")
+    client = cluster.new_client()
+    return cluster, client
+
+
+def burst_cluster(
+    protocol: str,
+    params: Optional[SimulationParams] = None,
+    trace_enabled: bool = False,
+) -> tuple[Cluster, Client]:
+    """Cluster configured for throughput runs (tracing off by default
+    to keep long simulations lean)."""
+    return distributed_create_cluster(protocol, params=params, trace_enabled=trace_enabled)

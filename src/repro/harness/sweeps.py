@@ -1,0 +1,132 @@
+"""Extension sweeps: sensitivity of Figure 6 to the model parameters.
+
+Not in the paper, but the natural ablations of its design choices:
+
+* network latency (does 1PC's advantage survive slow networks?),
+* log-device bandwidth (the protocols differ mainly in forced writes),
+* burst size (contention scaling on one directory),
+* abort rate (PrC degrades to PrN on aborts — §II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.config import SimulationParams
+from repro.workloads.burst import run_burst
+
+DEFAULT_PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
+
+
+def sweep_network_latency(
+    latencies: Sequence[float],
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    n: int = 50,
+    params: Optional[SimulationParams] = None,
+) -> dict[float, dict[str, float]]:
+    """Throughput per protocol for each one-way network latency."""
+    base = params or SimulationParams.paper_defaults()
+    out: dict[float, dict[str, float]] = {}
+    for latency in latencies:
+        p = base.with_(network=replace(base.network, latency=latency))
+        out[latency] = {
+            proto: run_burst(proto, n=n, params=p).throughput for proto in protocols
+        }
+    return out
+
+
+def sweep_disk_bandwidth(
+    bandwidths: Sequence[float],
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    n: int = 50,
+    params: Optional[SimulationParams] = None,
+) -> dict[float, dict[str, float]]:
+    """Throughput per protocol for each log-device bandwidth."""
+    base = params or SimulationParams.paper_defaults()
+    out: dict[float, dict[str, float]] = {}
+    for bandwidth in bandwidths:
+        p = base.with_(storage=replace(base.storage, bandwidth=bandwidth))
+        out[bandwidth] = {
+            proto: run_burst(proto, n=n, params=p).throughput for proto in protocols
+        }
+    return out
+
+
+def sweep_burst_size(
+    sizes: Sequence[int],
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    params: Optional[SimulationParams] = None,
+) -> dict[int, dict[str, float]]:
+    """Throughput per protocol for each burst size."""
+    out: dict[int, dict[str, float]] = {}
+    for size in sizes:
+        out[size] = {
+            proto: run_burst(proto, n=size, params=params).throughput
+            for proto in protocols
+        }
+    return out
+
+
+def sweep_abort_rate(
+    rates: Sequence[float],
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    n: int = 50,
+    params: Optional[SimulationParams] = None,
+    seed: int = 7,
+) -> dict[float, dict[str, float]]:
+    """Throughput per protocol with a fraction of worker-refused votes.
+
+    Vote refusals are injected deterministically via each server's
+    ``fail_next_vote`` hook, spread evenly over the burst.
+    """
+    out: dict[float, dict[str, float]] = {}
+    for rate in rates:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"abort rate must be in [0, 1), got {rate}")
+        row = {}
+        for proto in protocols:
+            row[proto] = _burst_with_aborts(proto, n, rate, params)
+        out[rate] = row
+    return out
+
+
+def _burst_with_aborts(
+    protocol: str, n: int, rate: float, params: Optional[SimulationParams]
+) -> float:
+    from repro.harness.scenarios import burst_cluster
+
+    cluster, client = burst_cluster(protocol, params=params)
+    sim = cluster.sim
+    worker = cluster.servers["mds2"]
+    fail_every = int(1.0 / rate) if rate > 0 else 0
+
+    submitted = 0
+    start = sim.now
+    for i in range(n):
+        client.submit(client.plan_create(f"/dir1/f{i}"))
+        submitted += 1
+
+    # Arm vote failures as transactions reach the worker: flip the hook
+    # whenever the counter of started transactions crosses a multiple.
+    armed = {"count": 0}
+
+    def arm_failures(sim):
+        while armed["count"] * fail_every < n if fail_every else False:
+            target = armed["count"] * fail_every
+            while len(cluster.outcomes) < target:
+                yield sim.timeout(1e-4)
+            worker.fail_next_vote = True
+            armed["count"] += 1
+        if False:
+            yield  # pragma: no cover
+
+    if fail_every:
+        sim.process(arm_failures(sim), name="abort-injector")
+
+    while len(cluster.outcomes) < n:
+        sim.step()
+    end = max(o.replied_at for o in cluster.outcomes)
+    committed = sum(1 for o in cluster.outcomes if o.committed)
+    makespan = end - start
+    return committed / makespan if makespan > 0 else float("inf")

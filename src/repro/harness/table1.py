@@ -1,0 +1,64 @@
+"""Table I: log writes and messages per protocol, analytical + measured."""
+
+from __future__ import annotations
+
+from repro.analysis.costs import TABLE1, CostRow, measure_protocol_costs
+from repro.analysis.tables import render_table
+
+PROTOCOL_ORDER = ("PrN", "PrC", "EP", "1PC")
+
+
+def run_table1(measured: bool = True) -> str:
+    """Render Table I; with ``measured`` the trace-derived counts are
+    placed next to the paper's numbers (they must agree)."""
+    headers = [
+        "Protocol",
+        "Total Log Writes (sync, async)",
+        "Critical Path (sync, async)",
+        "Total Messages",
+        "Messages in Critical Path",
+    ]
+    rows = []
+    for name in PROTOCOL_ORDER:
+        paper = TABLE1[name]
+        if measured:
+            m = measure_protocol_costs(name).row
+            rows.append(
+                [
+                    name,
+                    _pair(paper.sync_total, paper.async_total, m.sync_total, m.async_total),
+                    _pair(
+                        paper.sync_critical,
+                        paper.async_critical,
+                        m.sync_critical,
+                        m.async_critical,
+                    ),
+                    _single(paper.msgs_total, m.msgs_total),
+                    _single(paper.msgs_critical, m.msgs_critical),
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    name,
+                    f"({paper.sync_total}, {paper.async_total})",
+                    f"({paper.sync_critical}, {paper.async_critical})",
+                    str(paper.msgs_total),
+                    str(paper.msgs_critical),
+                ]
+            )
+    suffix = " — paper [measured]" if measured else " — paper"
+    return render_table(headers, rows, title="Table I" + suffix)
+
+
+def _pair(ps: int, pa: int, ms: int, ma: int) -> str:
+    return f"({ps}, {pa}) [({ms}, {ma})]"
+
+
+def _single(p: int, m: int) -> str:
+    return f"{p} [{m}]"
+
+
+def measured_rows() -> dict[str, CostRow]:
+    """Measured Table I rows for every protocol."""
+    return {name: measure_protocol_costs(name).row for name in PROTOCOL_ORDER}

@@ -1,0 +1,13 @@
+"""Two-phase-locking lock manager.
+
+Each MDS runs one :class:`LockManager` (the paper's ``lock manager``
+module — one per acp server).  Transactions acquire shared or exclusive
+locks on metadata objects before updating them and hold them until the
+protocol's release point (strict two-phase locking); the 1PC protocol's
+headline win is releasing the coordinator's locks earlier than 2PC can.
+"""
+
+from repro.locks.deadlock import WaitForGraph, find_deadlock_cycle
+from repro.locks.manager import LockManager, LockMode, LockTimeout
+
+__all__ = ["LockManager", "LockMode", "LockTimeout", "WaitForGraph", "find_deadlock_cycle"]

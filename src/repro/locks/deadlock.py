@@ -1,0 +1,83 @@
+"""Wait-for-graph deadlock detection.
+
+The protocols in the paper avoid deadlock with timeouts (§II-B); this
+module is the complementary *detection* facility used by the extension
+benchmarks and by tests that want to assert the absence of cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+
+class WaitForGraph:
+    """Directed graph of ``waiter -> holder`` transaction edges."""
+
+    def __init__(self, edges: Iterable[tuple[Hashable, Hashable]] = ()):
+        self._adj: dict[Hashable, set[Hashable]] = {}
+        for a, b in edges:
+            self.add_edge(a, b)
+
+    def add_edge(self, waiter: Hashable, holder: Hashable) -> None:
+        if waiter == holder:
+            raise ValueError("a transaction cannot wait for itself")
+        self._adj.setdefault(waiter, set()).add(holder)
+        self._adj.setdefault(holder, set())
+
+    def remove_transaction(self, txn_id: Hashable) -> None:
+        self._adj.pop(txn_id, None)
+        for targets in self._adj.values():
+            targets.discard(txn_id)
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._adj)
+
+    def successors(self, txn_id: Hashable) -> frozenset:
+        return frozenset(self._adj.get(txn_id, ()))
+
+    def find_cycle(self) -> Optional[list[Hashable]]:
+        """A deadlock cycle as a list of transactions, or ``None``.
+
+        Iterative DFS with colouring; deterministic (sorted adjacency)
+        so the same graph always reports the same cycle.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in self._adj}
+        parent: dict[Hashable, Hashable] = {}
+
+        for root in sorted(self._adj, key=repr):
+            if colour[root] != WHITE:
+                continue
+            stack = [(root, iter(sorted(self._adj[root], key=repr)))]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if colour[succ] == WHITE:
+                        colour[succ] = GREY
+                        parent[succ] = node
+                        stack.append((succ, iter(sorted(self._adj[succ], key=repr))))
+                        advanced = True
+                        break
+                    if colour[succ] == GREY:
+                        # Found a back edge: unwind the cycle.
+                        cycle = [succ]
+                        cur = node
+                        while cur != succ:
+                            cycle.append(cur)
+                            cur = parent[cur]
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+
+def find_deadlock_cycle(
+    edges: Iterable[tuple[Hashable, Hashable]]
+) -> Optional[list[Hashable]]:
+    """Convenience wrapper over :class:`WaitForGraph`."""
+    return WaitForGraph(edges).find_cycle()

@@ -1,0 +1,233 @@
+"""Lock table with shared/exclusive modes, FIFO queueing and timeouts."""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Generator, Hashable, Optional
+
+from repro.sim import AnyOf, Event, Simulator, TraceLog
+
+
+class LockMode(str, Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+class LockTimeout(Exception):
+    """Raised when a lock is not granted within the caller's timeout.
+
+    The 2PC coordinator uses this to abort a transaction and release
+    its locks (deadlock avoidance by timeout, §II-B).
+    """
+
+    def __init__(self, txn_id: Hashable, obj_id: Hashable):
+        super().__init__(f"txn {txn_id} timed out waiting for lock on {obj_id}")
+        self.txn_id = txn_id
+        self.obj_id = obj_id
+
+
+class _Waiter:
+    __slots__ = ("txn_id", "mode", "event")
+
+    def __init__(self, sim: Simulator, txn_id: Hashable, mode: LockMode):
+        self.txn_id = txn_id
+        self.mode = mode
+        self.event = Event(sim, name=f"lock-grant:{txn_id}")
+
+
+class _LockEntry:
+    """State of one lockable object."""
+
+    __slots__ = ("holders", "queue")
+
+    def __init__(self) -> None:
+        #: txn_id -> mode currently held.
+        self.holders: dict[Hashable, LockMode] = {}
+        self.queue: deque[_Waiter] = deque()
+
+    @property
+    def mode(self) -> Optional[LockMode]:
+        if not self.holders:
+            return None
+        if any(m is LockMode.EXCLUSIVE for m in self.holders.values()):
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED
+
+
+class LockManager:
+    """Per-MDS strict-2PL lock table."""
+
+    def __init__(self, sim: Simulator, name: str = "lockmgr", trace: TraceLog | None = None):
+        self.sim = sim
+        self.name = name
+        self.trace = trace if trace is not None else TraceLog(sim, enabled=False)
+        self._table: dict[Hashable, _LockEntry] = {}
+
+    # -- introspection ----------------------------------------------------------
+
+    def holders(self, obj_id: Hashable) -> dict[Hashable, LockMode]:
+        entry = self._table.get(obj_id)
+        return dict(entry.holders) if entry else {}
+
+    def queue_length(self, obj_id: Hashable) -> int:
+        entry = self._table.get(obj_id)
+        return len(entry.queue) if entry else 0
+
+    def holds(self, txn_id: Hashable, obj_id: Hashable, mode: Optional[LockMode] = None) -> bool:
+        held = self._table.get(obj_id)
+        if held is None or txn_id not in held.holders:
+            return False
+        if mode is None:
+            return True
+        if mode is LockMode.SHARED:
+            return True  # X implies S
+        return held.holders[txn_id] is LockMode.EXCLUSIVE
+
+    def locks_of(self, txn_id: Hashable) -> list[Hashable]:
+        return [obj for obj, entry in self._table.items() if txn_id in entry.holders]
+
+    def waiting_for(self, txn_id: Hashable) -> list[Hashable]:
+        """Objects ``txn_id`` is currently queued on (for wait-for graphs)."""
+        out = []
+        for obj, entry in self._table.items():
+            if any(w.txn_id == txn_id for w in entry.queue):
+                out.append(obj)
+        return out
+
+    # -- acquisition ---------------------------------------------------------------
+
+    def _entry(self, obj_id: Hashable) -> _LockEntry:
+        if obj_id not in self._table:
+            self._table[obj_id] = _LockEntry()
+        return self._table[obj_id]
+
+    def _grantable(self, entry: _LockEntry, txn_id: Hashable, mode: LockMode) -> bool:
+        others = {t: m for t, m in entry.holders.items() if t != txn_id}
+        if not others:
+            return True
+        if mode is LockMode.SHARED:
+            return all(m is LockMode.SHARED for m in others.values())
+        return False
+
+    def try_acquire(self, txn_id: Hashable, obj_id: Hashable, mode: LockMode) -> bool:
+        """Non-blocking acquire; True when granted immediately.
+
+        FIFO fairness: a request does not overtake an existing queue
+        (unless it is a re-acquire/upgrade by a current holder).
+        """
+        entry = self._entry(obj_id)
+        held = entry.holders.get(txn_id)
+        if held is not None:
+            if held is LockMode.EXCLUSIVE or mode is LockMode.SHARED:
+                return True  # already sufficient
+            # Upgrade S -> X.
+            if self._grantable(entry, txn_id, mode):
+                entry.holders[txn_id] = LockMode.EXCLUSIVE
+                self.trace.emit("lock_upgrade", self.name, txn=txn_id, obj=obj_id)
+                return True
+            return False
+        if entry.queue:
+            return False
+        if self._grantable(entry, txn_id, mode):
+            entry.holders[txn_id] = mode
+            self.trace.emit("lock_grant", self.name, txn=txn_id, obj=obj_id, mode=mode.value)
+            return True
+        return False
+
+    def acquire(
+        self,
+        txn_id: Hashable,
+        obj_id: Hashable,
+        mode: LockMode = LockMode.EXCLUSIVE,
+        timeout: Optional[float] = None,
+    ) -> Generator:
+        """Generator: block until granted; :class:`LockTimeout` on expiry."""
+        if self.try_acquire(txn_id, obj_id, mode):
+            return None
+        entry = self._entry(obj_id)
+        waiter = _Waiter(self.sim, txn_id, mode)
+        entry.queue.append(waiter)
+        self.trace.emit("lock_wait", self.name, txn=txn_id, obj=obj_id, mode=mode.value)
+        if timeout is None:
+            yield waiter.event
+            return None
+        deadline = self.sim.timeout(timeout)
+        yield AnyOf(self.sim, [waiter.event, deadline])
+        if waiter.event.triggered:
+            return None
+        # Withdraw from the queue and give others a chance.
+        try:
+            entry.queue.remove(waiter)
+        except ValueError:  # pragma: no cover - granted in same instant
+            pass
+        self._dispatch(obj_id)
+        self.trace.emit("lock_timeout", self.name, txn=txn_id, obj=obj_id)
+        raise LockTimeout(txn_id, obj_id)
+
+    # -- release ----------------------------------------------------------------------
+
+    def release(self, txn_id: Hashable, obj_id: Hashable) -> None:
+        entry = self._table.get(obj_id)
+        if entry is None or txn_id not in entry.holders:
+            raise KeyError(f"txn {txn_id} does not hold a lock on {obj_id!r}")
+        del entry.holders[txn_id]
+        self.trace.emit("lock_release", self.name, txn=txn_id, obj=obj_id)
+        self._dispatch(obj_id)
+
+    def release_all(self, txn_id: Hashable) -> int:
+        """Release every lock ``txn_id`` holds; returns how many."""
+        released = 0
+        for obj_id in list(self._table):
+            entry = self._table[obj_id]
+            if txn_id in entry.holders:
+                del entry.holders[txn_id]
+                released += 1
+                self.trace.emit("lock_release", self.name, txn=txn_id, obj=obj_id)
+                self._dispatch(obj_id)
+            # Also withdraw any queued request by this transaction.
+            for waiter in [w for w in entry.queue if w.txn_id == txn_id]:
+                entry.queue.remove(waiter)
+                self._dispatch(obj_id)
+        return released
+
+    def _dispatch(self, obj_id: Hashable) -> None:
+        entry = self._table.get(obj_id)
+        if entry is None:
+            return
+        while entry.queue:
+            waiter = entry.queue[0]
+            if waiter.event.triggered:
+                entry.queue.popleft()
+                continue
+            if not self._grantable(entry, waiter.txn_id, waiter.mode):
+                break
+            entry.queue.popleft()
+            held = entry.holders.get(waiter.txn_id)
+            if held is LockMode.SHARED and waiter.mode is LockMode.EXCLUSIVE:
+                entry.holders[waiter.txn_id] = LockMode.EXCLUSIVE
+            elif held is None:
+                entry.holders[waiter.txn_id] = waiter.mode
+            self.trace.emit(
+                "lock_grant", self.name, txn=waiter.txn_id, obj=obj_id, mode=waiter.mode.value
+            )
+            waiter.event.succeed()
+            if waiter.mode is LockMode.EXCLUSIVE:
+                break
+        if not entry.holders and not entry.queue:
+            del self._table[obj_id]
+
+    # -- wait-for edges (deadlock detection support) --------------------------------------
+
+    def wait_edges(self) -> list[tuple[Hashable, Hashable]]:
+        """(waiter_txn, holder_txn) edges for the wait-for graph."""
+        edges = []
+        for entry in self._table.values():
+            for waiter in entry.queue:
+                for holder in entry.holders:
+                    if holder != waiter.txn_id:
+                        edges.append((waiter.txn_id, holder))
+        return edges

@@ -1,0 +1,21 @@
+"""Metadata-server cluster assembly.
+
+* :mod:`repro.mds.server` -- one MDS: endpoint + WAL + lock manager +
+  metadata store + protocol engine + message dispatcher, with crash and
+  restart semantics.
+* :mod:`repro.mds.cluster` -- the cluster: network, shared storage,
+  fencing driver, servers, clients, transaction-id allocation, fault
+  injection entry points and invariant checking.
+* :mod:`repro.mds.heartbeat` -- heartbeat broadcasting and the
+  timeout-based failure detector.
+* :mod:`repro.mds.client` -- the ``source`` module: submits namespace
+  operations and collects replies (the ``leave`` module of ACID Sim
+  Tools is the cluster's outcome list).
+"""
+
+from repro.mds.client import Client, ClientTimeout
+from repro.mds.cluster import Cluster
+from repro.mds.heartbeat import FailureDetector, HeartbeatService
+from repro.mds.server import MDSServer
+
+__all__ = ["Client", "ClientTimeout", "Cluster", "FailureDetector", "HeartbeatService", "MDSServer"]

@@ -1,0 +1,277 @@
+"""One metadata server.
+
+An :class:`MDSServer` bundles the paper's per-node modules — the acp
+server, its lock manager and its log manager connection — around a
+message dispatcher:
+
+* ``CLIENT_REQUEST`` spawns a coordinator process (the protocol engine
+  chosen for the cluster, or the fallback engine when the operation is
+  wider than the primary protocol supports — e.g. a four-MDS RENAME
+  under 1PC);
+* protocol messages are routed into per-transaction session inboxes;
+  an ``UPDATE_REQ``/``PREPARE`` with no session opens a worker session;
+* anything else goes to the protocol's stray-message handler.
+
+Crash semantics: ``crash()`` kills the dispatcher and every protocol
+process, flushes volatile state (cache overlays, lock tables, queued
+messages, unflushed log records).  ``restart()`` brings the node back:
+the dispatcher starts immediately but buffers new client requests until
+reboot-time recovery has drained the log — the ordering rule §III-D
+requires ("the coordinator will not execute new requests ... until it
+has completed all the outstanding ones").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.fs.operations import OpPlan
+from repro.locks import LockManager
+from repro.net.message import Message
+from repro.protocols.base import SESSION_OPENERS, MsgKind, Protocol, Transaction
+from repro.sim import Process, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mds.cluster import Cluster
+
+
+class MDSServer:
+    """A metadata server node."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        name: str,
+        protocol_cls: type[Protocol],
+        fallback_cls: Optional[type[Protocol]] = None,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.name = name
+        self.params = cluster.params
+        self.trace = cluster.trace
+        self.endpoint = cluster.network.attach(name)
+        self.wal = cluster.storage.provision(name)
+        self.locks = LockManager(self.sim, name=f"locks:{name}", trace=self.trace)
+        self.store = cluster.store_of(name)
+        self.protocol: Protocol = protocol_cls(self)
+        #: Engine used when an operation exceeds the primary protocol's
+        #: worker limit (wide RENAMEs under 1PC).
+        self.fallback: Optional[Protocol] = fallback_cls(self) if fallback_cls else None
+        #: Test hook: the next worker-side vote is refused.
+        self.fail_next_vote = False
+        self.crashed = False
+        self.recovering = False
+        self._sessions: dict[int, Store] = {}
+        self._procs: set[Process] = set()
+        self._buffered_requests: list[Message] = []
+        self._dispatcher: Optional[Process] = None
+        self._start_dispatcher()
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def open_session(self, txn_id: int) -> Store:
+        if txn_id not in self._sessions:
+            self._sessions[txn_id] = Store(self.sim, name=f"session:{self.name}:{txn_id}")
+        return self._sessions[txn_id]
+
+    def session_inbox(self, txn_id: int) -> Optional[Store]:
+        return self._sessions.get(txn_id)
+
+    def close_session(self, txn_id: int) -> None:
+        self._sessions.pop(txn_id, None)
+
+    # ------------------------------------------------------------------
+    # Process tracking (so a crash can kill everything at this node)
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator, name: str = "") -> Process:
+        proc = self.sim.process(generator, name=name or f"{self.name}:proc")
+        self._procs.add(proc)
+        proc.callbacks.append(lambda _e: self._procs.discard(proc))
+        return proc
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _start_dispatcher(self) -> None:
+        self._dispatcher = self.sim.process(
+            self._dispatch_loop(), name=f"dispatch:{self.name}"
+        )
+
+    def _dispatch_loop(self) -> Generator:
+        cost = self.params.compute.msg_processing_latency
+        while True:
+            msg = yield self.endpoint.receive()
+            if cost > 0.0 and msg.kind != MsgKind.HEARTBEAT:
+                yield self.sim.timeout(cost)
+            self._route(msg)
+
+    def _route(self, msg: Message) -> None:
+        if msg.kind == MsgKind.HEARTBEAT:
+            self.cluster.failure_detector.observe(self.name, msg.src, self.sim.now)
+            return
+        if msg.kind == MsgKind.CLIENT_REQUEST:
+            if self.recovering:
+                self._buffered_requests.append(msg)
+            else:
+                self._start_coordinator(msg)
+            return
+        if msg.kind == MsgKind.STAT_REQUEST:
+            self.spawn(self._serve_stat(msg), name=f"stat:{self.name}")
+            return
+        inbox = self._sessions.get(msg.txn_id)
+        if inbox is not None:
+            inbox.put(msg)
+            return
+        engine = self._engine_for(msg)
+        if msg.kind in SESSION_OPENERS:
+            session = self.open_session(msg.txn_id)
+            self.spawn(
+                engine.worker_session(msg, session),
+                name=f"worker:{self.name}:{msg.txn_id}",
+            )
+            return
+        handler = engine.handle_stray(msg)
+        if handler is not None:
+            self.spawn(handler, name=f"stray:{self.name}:{msg.kind}:{msg.txn_id}")
+
+    def _engine_for(self, msg: Message) -> Protocol:
+        """Route worker-side traffic to the engine that speaks it.
+
+        The 1PC engine marks its UPDATE_REQ with ``commit=True``; the
+        fallback (2PC-family) engine is used for everything else when
+        one is configured.
+        """
+        if self.fallback is None:
+            return self.protocol
+        if self.protocol.name == "1PC":
+            if msg.kind == MsgKind.UPDATE_REQ and not msg.payload.get("commit"):
+                return self.fallback
+            if msg.kind == MsgKind.PREPARE:
+                return self.fallback
+        return self.protocol
+
+    def _start_coordinator(self, msg: Message) -> None:
+        plan: OpPlan = msg.payload["plan"]
+        txn = Transaction(
+            txn_id=self.cluster.next_txn_id(),
+            plan=plan,
+            client=msg.src,
+            submitted_at=msg.payload.get("submitted_at", self.sim.now),
+            req_id=msg.payload.get("req_id"),
+        )
+        engine = self.protocol
+        if (
+            engine.max_workers is not None
+            and len(plan.workers) > engine.max_workers
+            and self.fallback is not None
+        ):
+            engine = self.fallback
+            self.trace.emit(
+                "fallback_protocol",
+                self.name,
+                txn=txn.txn_id,
+                op=plan.op,
+                workers=len(plan.workers),
+            )
+        self.trace.emit("txn_start", self.name, txn=txn.txn_id, op=plan.op, protocol=engine.name)
+        self.spawn(self._run_coordinator(engine, txn), name=f"coord:{self.name}:{txn.txn_id}")
+
+    def _serve_stat(self, msg: Message) -> Generator:
+        """Metadata read: lookup under a shared directory lock.
+
+        POSIX semantics ("a consistent view of the parent directory
+        across multiple clients", §VI) make reads queue behind an
+        in-flight exclusive holder — which is why the lock-hold time of
+        the commit protocol matters for read latency too.
+        """
+        from repro.fs.operations import split_path
+        from repro.fs.objects import ObjectId
+        from repro.locks import LockMode, LockTimeout
+
+        path = msg.payload["path"]
+        parent, name = split_path(path)
+        reader = ("stat", msg.msg_id)
+        try:
+            yield from self.locks.acquire(
+                reader,
+                ObjectId.directory(parent),
+                LockMode.SHARED,
+                timeout=self.params.failure.lock_timeout,
+            )
+        except LockTimeout:
+            self.endpoint.send_to(msg.src, MsgKind.STAT_REPLY, path=path, error="timeout")
+            return
+        try:
+            yield self.sim.timeout(self.params.compute.read_latency)
+            ino = self.store.lookup(parent, name)
+        finally:
+            self.locks.release_all(reader)
+        self.endpoint.send_to(
+            msg.src, MsgKind.STAT_REPLY, path=path, found=ino is not None, ino=ino
+        )
+
+    def _run_coordinator(self, engine: Protocol, txn: Transaction) -> Generator:
+        if txn.plan.is_distributed:
+            outcome = yield from engine.coordinate(txn)
+        else:
+            # Single-MDS operations need no commit protocol at all.
+            outcome = yield from engine.run_local(txn)
+        if outcome is not None:
+            self.cluster.record_outcome(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Hard failure: volatile state is gone, durable log survives."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.trace.emit("crash", self.name)
+        if self._dispatcher is not None:
+            self._dispatcher.kill()
+            self._dispatcher = None
+        for proc in list(self._procs):
+            proc.kill()
+        self._procs.clear()
+        self._sessions.clear()
+        self._buffered_requests.clear()
+        self.cluster.network.detach(self.name)
+        self.wal.crash()
+        self.store.crash()
+        # The in-memory lock table vanishes with the node.
+        self.locks = LockManager(self.sim, name=f"locks:{self.name}", trace=self.trace)
+
+    def restart(self) -> None:
+        """Reboot: reattach, restart the log, recover, then serve."""
+        if not self.crashed:
+            raise RuntimeError(f"{self.name} is not crashed")
+        self.crashed = False
+        self.recovering = True
+        self.trace.emit("restart", self.name)
+        self.cluster.network.attach(self.name)
+        self.wal.restart()
+        # A rebooted node re-registers with the storage fabric.
+        if self.cluster.storage.fencing.is_fenced(self.name):
+            self.cluster.storage.fencing.unfence(self.name, by=self.name)
+        self._start_dispatcher()
+        self.spawn(self._recover_then_serve(), name=f"recovery:{self.name}")
+
+    def _recover_then_serve(self) -> Generator:
+        try:
+            yield from self.protocol.recover()
+            if self.fallback is not None:
+                yield from self.fallback.recover()
+        finally:
+            self.recovering = False
+            buffered, self._buffered_requests = self._buffered_requests, []
+            for msg in buffered:
+                self._start_coordinator(msg)
+        self.trace.emit("recovered", self.name)

@@ -1,0 +1,190 @@
+"""Cluster network: full mesh with latency, partitions and link faults."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.config import NetworkParams
+from repro.net.endpoint import Endpoint
+from repro.net.message import Message
+from repro.sim import RngRegistry, Simulator, TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class Network:
+    """The message fabric connecting all nodes in the cluster.
+
+    Delivery semantics:
+
+    * every message is delayed by ``params.latency`` (+ optional byte
+      cost and jitter);
+    * messages between nodes in different partition groups are dropped;
+    * messages over an administratively failed link are dropped;
+    * messages to a detached (crashed) endpoint are dropped on arrival,
+      so a message already "in flight" when the receiver dies is lost
+      exactly as on real hardware.
+
+    All drops are silent; a ``msg_drop`` trace record is the only
+    witness.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: NetworkParams | None = None,
+        trace: TraceLog | None = None,
+        rng: RngRegistry | None = None,
+    ):
+        self.sim = sim
+        self.params = params or NetworkParams()
+        self.trace = trace if trace is not None else TraceLog(sim, enabled=False)
+        self.rng = rng or RngRegistry(0)
+        self._endpoints: dict[str, Endpoint] = {}
+        #: Current partition groups; empty means fully connected.
+        self._groups: list[frozenset[str]] = []
+        #: Administratively failed directed links.
+        self._down_links: set[tuple[str, str]] = set()
+        self._msg_counter = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def attach(self, node: str) -> Endpoint:
+        """Register (or re-register) ``node`` and return its endpoint."""
+        if node not in self._endpoints:
+            self._endpoints[node] = Endpoint(self.sim, node, self)
+        endpoint = self._endpoints[node]
+        endpoint.attached = True
+        return endpoint
+
+    def detach(self, node: str) -> None:
+        """Mark ``node``'s endpoint as down; its mailbox is flushed.
+
+        Used by crash injection: a crashed node loses all queued and
+        in-flight messages.
+        """
+        endpoint = self._require(node)
+        endpoint.attached = False
+        endpoint.flush()
+
+    def endpoint(self, node: str) -> Endpoint:
+        """The registered endpoint of ``node``."""
+        return self._require(node)
+
+    def nodes(self) -> list[str]:
+        """All registered node names, sorted."""
+        return sorted(self._endpoints)
+
+    def _require(self, node: str) -> Endpoint:
+        if node not in self._endpoints:
+            raise KeyError(f"unknown node {node!r}")
+        return self._endpoints[node]
+
+    # -- faults ----------------------------------------------------------------
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the cluster into disjoint ``groups``.
+
+        Nodes not named in any group form an implicit extra group and
+        keep communicating among themselves.
+        """
+        named = [frozenset(g) for g in groups]
+        seen: set[str] = set()
+        for group in named:
+            overlap = seen & group
+            if overlap:
+                raise ValueError(f"nodes {sorted(overlap)} appear in multiple groups")
+            seen |= group
+        rest = frozenset(self._endpoints) - seen
+        self._groups = named + ([rest] if rest else [])
+        self.trace.emit("net_partition", "network", groups=[sorted(g) for g in self._groups])
+
+    def heal_partition(self) -> None:
+        """Restore full connectivity."""
+        self._groups = []
+        self.trace.emit("net_heal", "network")
+
+    def fail_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Administratively fail the a->b link (and b->a by default)."""
+        self._down_links.add((a, b))
+        if bidirectional:
+            self._down_links.add((b, a))
+        self.trace.emit("link_fail", "network", a=a, b=b)
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Restore a previously failed link in both directions."""
+        self._down_links.discard((a, b))
+        self._down_links.discard((b, a))
+        self.trace.emit("link_restore", "network", a=a, b=b)
+
+    def connected(self, a: str, b: str) -> bool:
+        """Whether a message from ``a`` can currently reach ``b``."""
+        if (a, b) in self._down_links:
+            return False
+        if not self._groups or a == b:
+            return True
+        for group in self._groups:
+            if a in group:
+                return b in group
+        return False
+
+    # -- transmission -------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Transmit ``message``; delivery is asynchronous and may fail
+        silently."""
+        if message.dst not in self._endpoints:
+            raise KeyError(f"message to unknown node {message.dst!r}")
+        if message.msg_id == 0:
+            self._msg_counter += 1
+            message.msg_id = self._msg_counter
+        src_ep = self._endpoints.get(message.src)
+        if src_ep is not None and not src_ep.attached:
+            # A crashed node cannot transmit.
+            self.trace.emit("msg_drop", message.src, reason="sender_down", kind=message.kind)
+            return
+        if not self.connected(message.src, message.dst):
+            self.trace.emit(
+                "msg_drop",
+                message.src,
+                reason="partitioned",
+                kind=message.kind,
+                dst=message.dst,
+                txn=message.txn_id,
+            )
+            return
+
+        delay = self.params.latency + self.params.byte_cost * message.size
+        if self.params.jitter:
+            delay += self.rng.uniform("net.jitter", 0.0, self.params.jitter)
+        self.trace.emit(
+            "msg_send",
+            message.src,
+            kind=message.kind,
+            dst=message.dst,
+            txn=message.txn_id,
+            msg_id=message.msg_id,
+        )
+        deliver = self.sim.timeout(delay, message)
+        deliver.callbacks.append(lambda _e, m=message: self._deliver(m))
+
+    def _deliver(self, message: Message) -> None:
+        endpoint = self._endpoints[message.dst]
+        if not endpoint.attached:
+            self.trace.emit("msg_drop", message.dst, reason="receiver_down", kind=message.kind)
+            return
+        # Re-check connectivity at arrival time: a partition that formed
+        # while the message was in flight severs it.
+        if not self.connected(message.src, message.dst):
+            self.trace.emit("msg_drop", message.dst, reason="partitioned", kind=message.kind)
+            return
+        self.trace.emit(
+            "msg_recv",
+            message.dst,
+            kind=message.kind,
+            src=message.src,
+            txn=message.txn_id,
+            msg_id=message.msg_id,
+        )
+        endpoint.mailbox.put(message)

@@ -1,0 +1,42 @@
+"""Atomic commitment protocols.
+
+* :mod:`repro.protocols.base` -- transaction objects, message kinds,
+  the per-server protocol engine interface and shared machinery
+  (locking, update execution, log-record construction).
+* :mod:`repro.protocols.prn` -- the baseline two phase commit
+  ("Presume Nothing", §II-A).
+* :mod:`repro.protocols.prc` -- the Presume Commit optimisation
+  (§II-D).
+* :mod:`repro.protocols.ep` -- the Early Prepare optimisation (§II-E).
+
+The paper's contribution, the One Phase Commit protocol, lives in
+:mod:`repro.core` and registers itself under the name ``"1PC"``.
+"""
+
+from repro.protocols.base import (
+    PROTOCOLS,
+    MsgKind,
+    Protocol,
+    Transaction,
+    TransactionAborted,
+    TxnOutcome,
+    register_protocol,
+)
+from repro.protocols.ep import EarlyPrepareProtocol
+from repro.protocols.pra import PresumedAbortProtocol
+from repro.protocols.prc import PresumeCommitProtocol
+from repro.protocols.prn import PresumeNothingProtocol
+
+__all__ = [
+    "PROTOCOLS",
+    "EarlyPrepareProtocol",
+    "MsgKind",
+    "PresumeCommitProtocol",
+    "PresumedAbortProtocol",
+    "PresumeNothingProtocol",
+    "Protocol",
+    "Transaction",
+    "TransactionAborted",
+    "TxnOutcome",
+    "register_protocol",
+]

@@ -1,0 +1,155 @@
+"""Protocol conformance kit.
+
+Anyone adding an atomic commitment protocol to the registry can run
+this kit to check the non-negotiable obligations:
+
+1. **liveness** — a failure-free distributed CREATE commits and is
+   visible on both MDSs;
+2. **abort cleanliness** — a refused vote aborts with no residue
+   (state, locks, log records);
+3. **atomicity under crashes** — for a sweep of crash points over both
+   the coordinator and the worker, the transaction is all-or-nothing
+   after recovery;
+4. **isolation** — concurrent conflicting operations serialise (the
+   lock-trace precedence graph is acyclic) and exactly one of two
+   same-name creates wins;
+5. **log hygiene** — after a committed transaction settles, both
+   write-ahead logs are garbage collected.
+
+``check_protocol`` returns a :class:`ConformanceReport`;
+``tests/protocols/test_conformance.py`` runs it for every registered
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+DEFAULT_CRASH_POINTS = (0.5e-3, 2e-3, 4e-3, 7e-3)
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a conformance run."""
+
+    protocol: str
+    failures: list[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def record(self, ok: bool, message: str) -> None:
+        self.checks_run += 1
+        if not ok:
+            self.failures.append(message)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return f"<Conformance {self.protocol}: {self.checks_run} checks, {status}>"
+
+
+def _fresh(protocol):
+    from repro.harness.scenarios import distributed_create_cluster
+
+    return distributed_create_cluster(protocol)
+
+
+def _atomic_state(cluster):
+    dentry = cluster.store_of("mds1").stable_directories.get("/dir1", {}).get("f0")
+    inodes = cluster.store_of("mds2").stable_inodes
+    return (dentry is not None, len(inodes) > 0)
+
+
+def check_protocol(
+    protocol: str,
+    crash_points: Sequence[float] = DEFAULT_CRASH_POINTS,
+    settle: float = 300.0,
+) -> ConformanceReport:
+    """Run the full conformance battery for ``protocol``."""
+    report = ConformanceReport(protocol)
+    _check_liveness(protocol, report)
+    _check_abort_cleanliness(protocol, report)
+    for victim in ("mds1", "mds2"):
+        for crash_at in crash_points:
+            _check_crash_atomicity(protocol, victim, crash_at, settle, report)
+    _check_isolation(protocol, report)
+    return report
+
+
+def _check_liveness(protocol: str, report: ConformanceReport) -> None:
+    cluster, client = _fresh(protocol)
+    done = cluster.sim.process(client.create("/dir1/f0"), name="conf")
+    cluster.sim.run(until=done)
+    report.record(done.value["committed"] is True, f"{protocol}: failure-free CREATE aborted")
+    cluster.sim.run(until=cluster.sim.now + 120.0)
+    report.record(
+        cluster.check_invariants() == [], f"{protocol}: invariants violated after commit"
+    )
+    dentry, inode = _atomic_state(cluster)
+    report.record(dentry and inode, f"{protocol}: committed CREATE not visible on both MDSs")
+    logs_clean = (
+        cluster.storage.log_of("mds1").durable_records == ()
+        and cluster.storage.log_of("mds2").durable_records == ()
+    )
+    report.record(logs_clean, f"{protocol}: logs not garbage collected after settle")
+
+
+def _check_abort_cleanliness(protocol: str, report: ConformanceReport) -> None:
+    cluster, client = _fresh(protocol)
+    cluster.servers["mds2"].fail_next_vote = True
+    done = cluster.sim.process(client.create("/dir1/f0"), name="conf")
+    cluster.sim.run(until=done)
+    report.record(done.value["committed"] is False, f"{protocol}: refused vote still committed")
+    cluster.sim.run(until=cluster.sim.now + 120.0)
+    dentry, inode = _atomic_state(cluster)
+    report.record(
+        not dentry and not inode, f"{protocol}: aborted CREATE left residue"
+    )
+    report.record(
+        cluster.check_invariants() == [], f"{protocol}: invariants violated after abort"
+    )
+    for node in ("mds1", "mds2"):
+        report.record(
+            cluster.servers[node].locks._table == {},
+            f"{protocol}: locks leaked at {node} after abort",
+        )
+
+
+def _check_crash_atomicity(
+    protocol: str, victim: str, crash_at: float, settle: float, report: ConformanceReport
+) -> None:
+    cluster, client = _fresh(protocol)
+    client.submit(client.plan_create("/dir1/f0"))
+    cluster.sim.run(until=crash_at)
+    cluster.crash_server(victim)
+    cluster.restart_server(victim)
+    cluster.sim.run(until=cluster.sim.now + settle)
+    label = f"{protocol}: crash of {victim} at {crash_at * 1e3:.1f} ms"
+    report.record(cluster.check_invariants() == [], f"{label} violated invariants")
+    dentry, inode = _atomic_state(cluster)
+    report.record(dentry == inode, f"{label} left a partial transaction")
+
+
+def _check_isolation(protocol: str, report: ConformanceReport) -> None:
+    from repro.analysis.serializability import precedence_graph
+    from repro.locks import find_deadlock_cycle
+
+    cluster, client = _fresh(protocol)
+    other = cluster.new_client()
+    client.submit(client.plan_create("/dir1/race"))
+    other.submit(other.plan_create("/dir1/race"))
+    for i in range(4):
+        client.submit(client.plan_create(f"/dir1/c{i}"))
+    while len(cluster.outcomes) < 6:
+        cluster.sim.step()
+    cluster.sim.run(until=cluster.sim.now + 120.0)
+    winners = [o for o in cluster.outcomes if o.path == "/dir1/race" and o.committed]
+    report.record(len(winners) == 1, f"{protocol}: same-name race had {len(winners)} winners")
+    report.record(
+        cluster.check_invariants() == [], f"{protocol}: invariants violated under contention"
+    )
+    cycle = find_deadlock_cycle(set(precedence_graph(cluster.trace)))
+    report.record(cycle is None, f"{protocol}: conflict cycle {cycle}")

@@ -1,0 +1,143 @@
+"""Early Prepare optimisation (§II-E, Figure 4).
+
+EP builds on PrC and piggybacks the voting phase onto the transaction
+execution: the worker "autonomously prepares as soon as the last
+metadata update has been completed".  The UPDATE_REQ carries a
+``prepare`` flag; the worker applies the updates, forces
+UPDATES+PREPARED, and its single reply is both the UPDATED response and
+the PREPARED vote.
+
+Failure-free flow:
+
+==========  =====================================================
+coordinator worker
+==========  =====================================================
+force STARTED
+lock, update cache             (coordinator prepares concurrently)
+UPDATE_REQ(prepare) ->
+            lock, update cache
+            force UPDATES+PREPARED
+            <- PREPARED
+force COMMITTED, release locks, reply to client
+COMMIT ->
+            lazy COMMITTED, apply, release locks
+==========  =====================================================
+
+Cost accounting (Table I row EP): (4, 1) log writes total, (3, 0) in
+the critical path, only 1 extra message (COMMIT) and none in the
+critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.net.message import Message
+from repro.protocols.base import (
+    MsgKind,
+    Transaction,
+    TransactionAborted,
+    register_protocol,
+)
+from repro.protocols.prc import PresumeCommitProtocol
+from repro.storage.records import RecordKind
+
+
+@register_protocol
+class EarlyPrepareProtocol(PresumeCommitProtocol):
+    """PrC with the execution piggybacked into the voting phase."""
+
+    name = "EP"
+
+    def _coordinate_body(self, txn: Transaction, inbox) -> Generator:
+        plan, txn_id = txn.plan, txn.txn_id
+        yield from self.lock_all(txn_id, plan.locks(self.me))
+        yield from self.apply_updates(txn_id, plan.updates[self.me])
+
+        # Single round: ship updates with the prepare flag set; start
+        # our own prepare concurrently.
+        own_prepare = self._start_own_prepare(txn_id)
+        for worker in txn.workers:
+            self.send(
+                worker,
+                MsgKind.UPDATE_REQ,
+                txn_id,
+                updates=[u.describe() for u in plan.updates[worker]],
+                op=plan.op,
+                prepare=True,
+            )
+        try:
+            yield from self._collect_piggybacked_votes(txn, inbox)
+        except TransactionAborted:
+            yield from self._await_own_prepare(own_prepare)
+            raise
+        yield from self._await_own_prepare(own_prepare)
+
+        # Commit phase (identical to PrC from here on).
+        yield from self.wal.force(self.state_rec(RecordKind.COMMITTED, txn_id))
+        self.store.commit_durable(txn_id)
+        self.locks.release_all(txn_id)
+        replied_at = self.reply_to_client(txn, committed=True)
+        for worker in txn.workers:
+            self.send(worker, MsgKind.COMMIT, txn_id)
+        self.wal.checkpoint(txn_id)
+        return self.outcome(txn, committed=True, replied_at=replied_at)
+
+    def _collect_piggybacked_votes(self, txn: Transaction, inbox) -> Generator:
+        pending = set(txn.workers)
+        while pending:
+            msg = yield from self.recv(
+                inbox,
+                kinds=frozenset({MsgKind.PREPARED, MsgKind.NOT_PREPARED}),
+                timeout=self.params.failure.reply_timeout,
+            )
+            if msg is None:
+                raise TransactionAborted(f"timeout waiting for votes from {sorted(pending)}")
+            if msg.kind == MsgKind.NOT_PREPARED:
+                raise TransactionAborted(
+                f"worker {msg.src} voted NOT-PREPARED: "
+                f"{msg.payload.get('reason', 'no reason given')}"
+            )
+            pending.discard(msg.src)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+
+    def worker_session(self, first: Message, inbox) -> Generator:
+        txn_id, coordinator = first.txn_id, first.src
+        try:
+            if first.kind != MsgKind.UPDATE_REQ or not first.payload.get("prepare"):
+                # EP workers only ever see prepare-carrying requests; a
+                # bare PREPARE means our session state is gone.
+                self.send(coordinator, MsgKind.NOT_PREPARED, txn_id)
+                return None
+            updates = self.decode_updates(first.payload)
+            try:
+                if self.server.fail_next_vote:
+                    self.server.fail_next_vote = False
+                    raise TransactionAborted("injected vote failure")
+                yield from self.lock_all(txn_id, self._lock_targets(updates))
+                yield from self.apply_updates(txn_id, updates)
+            except TransactionAborted as aborted:
+                self.store.abort(txn_id)
+                self.locks.release_all(txn_id)
+                self.send(coordinator, MsgKind.NOT_PREPARED, txn_id, reason=aborted.reason)
+                return None
+            # Autonomous prepare, then the combined UPDATED+PREPARED reply.
+            yield from self._worker_prepare(txn_id, coordinator)
+            self.send(coordinator, MsgKind.PREPARED, txn_id)
+
+            msg = yield from self._await_decision(txn_id, coordinator, inbox)
+            if msg is None:
+                self.trace.emit("worker_blocked", self.me, txn=txn_id)
+                return None
+            if msg.kind == MsgKind.ABORT:
+                yield from self._worker_abort(txn_id, coordinator, ack=True)
+                return None
+            yield from self._worker_commit(txn_id)
+            if self.worker_commit_is_forced:  # pragma: no cover - EP is lazy
+                self.wal.checkpoint(txn_id)
+            return None
+        finally:
+            self.server.close_session(txn_id)

@@ -1,0 +1,82 @@
+"""Presumed Abort — the classic dual of Presume Commit (extension).
+
+Not evaluated in the paper (which compares PrN, PrC and EP), but it is
+the other standard 2PC presumption from Mohan/Lindsay's original work
+and the natural ablation partner for PrC: where PrC streamlines
+*commits* and restores the full protocol on aborts, PrA streamlines
+*aborts*:
+
+* the coordinator aborts by discarding state — no forced ABORTED
+  record, no abort ACKs, the log entry is simply dropped;
+* a worker (or recovering worker) that finds no entry at the
+  coordinator presumes ABORT;
+* commits consequently need the full treatment: forced COMMITTED at
+  both sides, ACK from the worker and an ENDED record before the
+  coordinator's log may be garbage collected.
+
+The ``bench_presumed.py`` extension benchmark shows the crossover: PrA
+beats PrC when the abort rate is high, and loses on commit-heavy
+workloads (every workload the paper cares about).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.protocols.base import MsgKind, Transaction, register_protocol
+from repro.protocols.prn import PresumeNothingProtocol
+from repro.storage.records import RecordKind
+
+
+@register_protocol
+class PresumedAbortProtocol(PresumeNothingProtocol):
+    """2PC with the presumed-abort optimisation."""
+
+    name = "PrA"
+
+    # Commits keep the full PrN treatment.
+    reply_before_commit_msg = False
+    worker_commit_is_forced = True
+    coordinator_writes_ended = True
+    ack_required = True
+    # Aborts are presumed: no acknowledgement round.
+    abort_ack_required = False
+
+    def presumed_decision(self) -> str:
+        # The defining rule: an absent coordinator log entry means the
+        # transaction aborted.
+        return MsgKind.ABORT
+
+    def _abort(self, txn: Transaction, inbox, reason: str) -> Generator:
+        """Presumed abort: drop state, tell whoever is listening, move on.
+
+        No forced ABORTED record and no ACK collection — a recovering
+        worker that asks later is answered by the presumption.
+        """
+        txn_id = txn.txn_id
+        self.store.abort(txn_id)
+        self.locks.release_all(txn_id)
+        for worker in txn.workers:
+            self.send(worker, MsgKind.ABORT, txn_id)
+        replied_at = self.reply_to_client(txn, committed=False, reason=reason)
+        # Forget the transaction entirely: presumption covers it.
+        self.wal.checkpoint(txn_id)
+        return self.outcome(txn, committed=False, replied_at=replied_at, reason=reason)
+        yield  # pragma: no cover - generator marker
+
+    def _worker_abort(self, txn_id: int, coordinator: str, ack: bool) -> Generator:
+        """Worker-side presumed abort: discard state, nothing forced."""
+        self.store.abort(txn_id)
+        self.locks.release_all(txn_id)
+        self.wal.checkpoint(txn_id)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _recover_coordinator(self, txn_id: int, state, records) -> Generator:
+        if state == RecordKind.STARTED:
+            # Crashed before preparing: just forget — workers presume
+            # the abort when they ask.
+            self.wal.checkpoint(txn_id)
+            self.trace.emit("recovery", self.me, txn=txn_id, action="presume-abort")
+            return
+        yield from super()._recover_coordinator(txn_id, state, records)

@@ -1,0 +1,567 @@
+"""Two Phase Commit, baseline "Presume Nothing" variant (§II-A..C).
+
+Failure-free flow for a two-MDS namespace operation (Figure 2):
+
+==========  =====================================================
+coordinator worker
+==========  =====================================================
+force STARTED
+lock, update cache
+UPDATE_REQ  ->
+            lock, update cache
+            <- UPDATED
+PREPARE ->     (coordinator starts preparing concurrently)
+            force UPDATES+PREPARED
+            <- PREPARED
+force COMMITTED, release locks
+COMMIT ->
+            force COMMITTED, apply, release locks
+            <- ACK, checkpoint
+lazy ENDED, reply to client, checkpoint
+==========  =====================================================
+
+Cost accounting (Table I row PrN): 5 forced log writes + 1 lazy in
+total; 4 forced + 1 lazy in the critical path (the coordinator's and
+the worker's prepares overlap); 4 extra messages, all 4 in the critical
+path because the client reply waits for the ACK.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.net.message import Message
+from repro.protocols.base import (
+    MsgKind,
+    Protocol,
+    Transaction,
+    TransactionAborted,
+    register_protocol,
+)
+from repro.storage.records import RecordKind
+from repro.storage.wal import LogLostError
+
+#: How many times a coordinator retransmits COMMIT/ABORT waiting for ACK.
+ACK_RETRIES = 5
+#: How many times a blocked (prepared) worker re-queries the
+#: coordinator for the decision.  A prepared 2PC worker cannot decide
+#: unilaterally; it must keep asking (2PC's blocking property).  The
+#: bound only exists to keep simulations finite.
+DECISION_RETRIES = 100
+
+
+@register_protocol
+class PresumeNothingProtocol(Protocol):
+    """The classic 2PC protocol; generalises to any number of workers."""
+
+    name = "PrN"
+    max_workers = None
+
+    #: Subclass knobs (the PrC/EP optimisations flip these).
+    reply_before_commit_msg = False  # PrN replies only after the ACKs
+    worker_commit_is_forced = True
+    coordinator_writes_ended = True
+    ack_required = True
+    #: Aborts are acknowledged in every 2PC-family protocol (PrC's
+    #: presumption covers commits only; "in the abort case the PrC
+    #: behaves in the same way as the PrN").
+    abort_ack_required = True
+
+    # ------------------------------------------------------------------
+    # Coordinator
+    # ------------------------------------------------------------------
+
+    def coordinate(self, txn: Transaction) -> Generator:
+        inbox = self.server.open_session(txn.txn_id)
+        try:
+            yield from self.wal.force(
+                self.state_rec(
+                    RecordKind.STARTED, txn.txn_id, op=txn.plan.op, workers=txn.workers
+                )
+            )
+            try:
+                outcome = yield from self._coordinate_body(txn, inbox)
+            except TransactionAborted as aborted:
+                outcome = yield from self._abort(txn, inbox, aborted.reason)
+            return outcome
+        finally:
+            self.server.close_session(txn.txn_id)
+
+    def _coordinate_body(self, txn: Transaction, inbox) -> Generator:
+        plan, txn_id = txn.plan, txn.txn_id
+        # Growing phase of 2PL, then the local cache updates.
+        yield from self.lock_all(txn_id, plan.locks(self.me))
+        yield from self.apply_updates(txn_id, plan.updates[self.me])
+
+        # Execution round: ship each worker its updates.
+        yield from self._execution_round(txn, inbox)
+
+        # Voting phase: ask the workers to prepare; prepare ourselves
+        # concurrently ("the coordinator itself ... also starts
+        # preparing").
+        own_prepare = self._start_own_prepare(txn_id)
+        try:
+            yield from self._voting_round(txn.workers, txn_id, inbox)
+        except TransactionAborted:
+            yield from self._await_own_prepare(own_prepare)
+            raise
+        yield from self._await_own_prepare(own_prepare)
+
+        # Commit phase.
+        yield from self.wal.force(self.state_rec(RecordKind.COMMITTED, txn_id))
+        self.store.commit_durable(txn_id)
+        self.locks.release_all(txn_id)
+
+        replied_at: Optional[float] = None
+        if self.reply_before_commit_msg:
+            replied_at = self.reply_to_client(txn, committed=True)
+        for worker in txn.workers:
+            self.send(worker, MsgKind.COMMIT, txn_id)
+        if self.ack_required:
+            yield from self._collect_acks(txn.workers, txn_id, inbox)
+        if self.coordinator_writes_ended:
+            flush = self.wal.append_lazy(self.state_rec(RecordKind.ENDED, txn_id))
+            flush.callbacks.append(
+                lambda ev, t=txn_id: self.wal.checkpoint(t) if ev.ok else None
+            )
+        if replied_at is None:
+            replied_at = self.reply_to_client(txn, committed=True)
+        self.wal.checkpoint(txn_id)
+        return self.outcome(txn, committed=True, replied_at=replied_at)
+
+    def _execution_round(self, txn: Transaction, inbox) -> Generator:
+        """UPDATE_REQ / UPDATED exchange with every worker."""
+        for worker in txn.workers:
+            self.send(
+                worker,
+                MsgKind.UPDATE_REQ,
+                txn.txn_id,
+                updates=[u.describe() for u in txn.plan.updates[worker]],
+                op=txn.plan.op,
+            )
+        pending = set(txn.workers)
+        while pending:
+            msg = yield from self.recv(
+                inbox,
+                kinds=frozenset({MsgKind.UPDATED, MsgKind.NOT_PREPARED}),
+                timeout=self.params.failure.reply_timeout,
+            )
+            if msg is None:
+                raise TransactionAborted(f"timeout waiting for UPDATED from {sorted(pending)}")
+            if msg.kind == MsgKind.NOT_PREPARED or not msg.payload.get("ok", True):
+                raise TransactionAborted(
+                    f"worker {msg.src} rejected the updates: "
+                    f"{msg.payload.get('reason', 'no reason given')}"
+                )
+            pending.discard(msg.src)
+
+    def _voting_round(self, workers, txn_id: int, inbox) -> Generator:
+        for worker in workers:
+            self.send(worker, MsgKind.PREPARE, txn_id)
+        pending = set(workers)
+        while pending:
+            msg = yield from self.recv(
+                inbox,
+                kinds=frozenset({MsgKind.PREPARED, MsgKind.NOT_PREPARED}),
+                timeout=self.params.failure.reply_timeout,
+            )
+            if msg is None:
+                raise TransactionAborted(f"timeout waiting for votes from {sorted(pending)}")
+            if msg.kind == MsgKind.NOT_PREPARED:
+                raise TransactionAborted(
+                f"worker {msg.src} voted NOT-PREPARED: "
+                f"{msg.payload.get('reason', 'no reason given')}"
+            )
+            pending.discard(msg.src)
+
+    def _start_own_prepare(self, txn_id: int):
+        """Fork the coordinator's own prepare (force updates + PREPARED)."""
+
+        def prepare():
+            yield from self.wal.force(
+                self.updates_rec(txn_id, self.store.updates_of(txn_id)),
+                self.state_rec(RecordKind.PREPARED, txn_id),
+            )
+
+        # Tracked by the server so a crash kills it with everything else.
+        return self.server.spawn(prepare(), name=f"{self.me}:prepare:{txn_id}")
+
+    def _await_own_prepare(self, prepare_proc) -> Generator:
+        try:
+            yield prepare_proc
+        except LogLostError:
+            raise TransactionAborted("coordinator log lost during prepare")
+
+    def _collect_acks(self, workers, txn_id: int, inbox, kind: str = MsgKind.COMMIT) -> Generator:
+        """Wait for every worker's ACK, retransmitting the decision."""
+        pending = set(workers)
+        for _attempt in range(ACK_RETRIES):
+            while pending:
+                msg = yield from self.recv(
+                    inbox,
+                    kinds=frozenset({MsgKind.ACK}),
+                    timeout=self.params.failure.reply_timeout,
+                )
+                if msg is None:
+                    break
+                pending.discard(msg.src)
+            if not pending:
+                return True
+            for worker in sorted(pending):
+                self.send(worker, kind, txn_id)
+        self.trace.emit(
+            "ack_gave_up", self.me, txn=txn_id, missing=sorted(pending), decision=kind
+        )
+        return False
+
+    def _abort(self, txn: Transaction, inbox, reason: str) -> Generator:
+        """Abort path: force ABORTED, tell the workers, release, reply."""
+        txn_id = txn.txn_id
+        yield from self.wal.force(self.state_rec(RecordKind.ABORTED, txn_id, reason=reason))
+        self.store.abort(txn_id)
+        self.locks.release_all(txn_id)
+        for worker in txn.workers:
+            self.send(worker, MsgKind.ABORT, txn_id)
+        replied_at = self.reply_to_client(txn, committed=False, reason=reason)
+        acked = True
+        if self.abort_ack_required and txn.workers:
+            acked = yield from self._collect_acks(txn.workers, txn_id, inbox, kind=MsgKind.ABORT)
+        if acked:
+            # Only a fully acknowledged abort may be forgotten: under
+            # presumed commit, a missing log entry means COMMIT, so the
+            # ABORTED record must survive until every prepared worker
+            # has heard the decision.
+            flush = self.wal.append_lazy(self.state_rec(RecordKind.ENDED, txn_id))
+            flush.callbacks.append(
+                lambda ev, t=txn_id: self.wal.checkpoint(t) if ev.ok else None
+            )
+            self.wal.checkpoint(txn_id)
+        return self.outcome(txn, committed=False, replied_at=replied_at, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+
+    def worker_session(self, first: Message, inbox) -> Generator:
+        """Worker side: execution, voting, decision."""
+        txn_id = first.txn_id
+        coordinator = first.src
+        try:
+            if first.kind != MsgKind.UPDATE_REQ:
+                # A PREPARE with no prior session: we lost the updates
+                # (e.g. rebooted); vote no (§II-C "no entry in the log").
+                self.send(coordinator, MsgKind.NOT_PREPARED, txn_id)
+                return None
+            ok = yield from self._worker_execute(first)
+            if not ok:
+                return None
+
+            # Wait for the voting phase.
+            msg = yield from self.recv(
+                inbox,
+                kinds=frozenset({MsgKind.PREPARE, MsgKind.ABORT}),
+                timeout=self.params.failure.reply_timeout * (ACK_RETRIES + 1),
+            )
+            if msg is None or msg.kind == MsgKind.ABORT:
+                yield from self._worker_abort(txn_id, coordinator, ack=msg is not None)
+                return None
+            yield from self._worker_prepare(txn_id, coordinator)
+            self.send(coordinator, MsgKind.PREPARED, txn_id)
+
+            # Decision.
+            msg = yield from self._await_decision(txn_id, coordinator, inbox)
+            if msg is None:
+                self.trace.emit("worker_blocked", self.me, txn=txn_id)
+                return None
+            if msg.kind == MsgKind.ABORT:
+                yield from self._worker_abort(txn_id, coordinator, ack=True)
+                return None
+            yield from self._worker_commit(txn_id)
+            if self.ack_required:
+                self.send(coordinator, MsgKind.ACK, txn_id)
+            if self.worker_commit_is_forced:
+                # With a lazy commit record the log must keep the
+                # PREPARED records until COMMITTED is durable; the
+                # flush callback checkpoints then.
+                self.wal.checkpoint(txn_id)
+            return None
+        finally:
+            self.server.close_session(txn_id)
+
+    def _await_decision(self, txn_id: int, coordinator: str, inbox) -> Generator:
+        """Wait for COMMIT/ABORT; when it doesn't come, keep asking.
+
+        A prepared 2PC worker is *blocked*: it cannot decide
+        unilaterally and must query the coordinator until it learns the
+        outcome — across partitions and coordinator reboots.
+        """
+        interval = self.params.failure.reply_timeout * (ACK_RETRIES + 1)
+        msg = yield from self.recv(
+            inbox,
+            kinds=frozenset({MsgKind.COMMIT, MsgKind.ABORT}),
+            timeout=interval,
+        )
+        if msg is not None:
+            return msg
+        for _attempt in range(DECISION_RETRIES):
+            self.send(coordinator, MsgKind.DECISION_REQ, txn_id)
+            msg = yield from self.recv(
+                inbox,
+                kinds=frozenset({MsgKind.COMMIT, MsgKind.ABORT}),
+                timeout=interval,
+            )
+            if msg is not None:
+                return msg
+        return None
+
+    def _worker_execute(self, first: Message) -> Generator:
+        """Lock and apply the shipped updates; UPDATED / NOT_PREPARED."""
+        txn_id, coordinator = first.txn_id, first.src
+        updates = self.decode_updates(first.payload)
+        try:
+            if self.server.fail_next_vote:
+                self.server.fail_next_vote = False
+                raise TransactionAborted("injected vote failure")
+            yield from self.lock_all(txn_id, self._lock_targets(updates))
+            yield from self.apply_updates(txn_id, updates)
+        except TransactionAborted as aborted:
+            self.store.abort(txn_id)
+            self.locks.release_all(txn_id)
+            self.send(coordinator, MsgKind.NOT_PREPARED, txn_id, reason=aborted.reason)
+            return False
+        self.send(coordinator, MsgKind.UPDATED, txn_id, ok=True)
+        return True
+
+    @staticmethod
+    def _lock_targets(updates) -> list:
+        seen: dict = {}
+        for update in updates:
+            seen.setdefault(update.target())
+        return list(seen)
+
+    def _worker_prepare(self, txn_id: int, coordinator: str) -> Generator:
+        yield from self.wal.force(
+            self.updates_rec(txn_id, self.store.updates_of(txn_id)),
+            self.state_rec(RecordKind.PREPARED, txn_id, coordinator=coordinator),
+        )
+
+    def _worker_commit(self, txn_id: int) -> Generator:
+        """Write the worker's COMMITTED record, apply and release."""
+        if self.worker_commit_is_forced:
+            yield from self.wal.force(self.state_rec(RecordKind.COMMITTED, txn_id))
+            self.store.commit_durable(txn_id)
+        else:
+            # Lazy commit record (PrC/EP): visible in the cache now,
+            # hardened when the flush lands; then the log can be
+            # garbage collected — nobody will ever ask about a
+            # presumed-commit transaction again.
+            self.store.commit(txn_id)
+            flush = self.wal.append_lazy(self.state_rec(RecordKind.COMMITTED, txn_id))
+            flush.callbacks.append(self._harden_and_gc(txn_id))
+        self.locks.release_all(txn_id)
+
+    def _harden_and_gc(self, txn_id: int):
+        def on_flush(event):
+            if event.ok:
+                self.store.harden(txn_id)
+                self.wal.checkpoint(txn_id)
+
+        return on_flush
+
+    def _worker_abort(self, txn_id: int, coordinator: str, ack: bool) -> Generator:
+        yield from self.wal.force(self.state_rec(RecordKind.ABORTED, txn_id))
+        self.store.abort(txn_id)
+        self.locks.release_all(txn_id)
+        if ack and self.abort_ack_required:
+            self.send(coordinator, MsgKind.ACK, txn_id)
+        self.wal.checkpoint(txn_id)
+
+    # ------------------------------------------------------------------
+    # Recovery (§II-C)
+    # ------------------------------------------------------------------
+
+    def recover(self) -> Generator:
+        """Reboot-time log scan; §II-C enumerates the cases."""
+        for txn_id in self.wal.open_transactions():
+            records = self.wal.records_for(txn_id)
+            if not self.owns_txn(records):
+                continue
+            state = self.wal.last_state(txn_id)
+            if any(r.kind == RecordKind.STARTED for r in records):
+                yield from self._recover_coordinator(txn_id, state, records)
+            else:
+                yield from self._recover_worker(txn_id, state, records)
+
+    def _workers_from(self, records) -> list[str]:
+        for record in records:
+            if record.kind == RecordKind.STARTED:
+                return list(record.payload.get("workers", []))
+        return []
+
+    def _recover_coordinator(self, txn_id: int, state, records) -> Generator:
+        workers = self._workers_from(records)
+        inbox = self.server.open_session(txn_id)
+        try:
+            if state == RecordKind.STARTED:
+                # Crashed before preparing: updates lost -> abort.
+                yield from self.wal.force(
+                    self.state_rec(RecordKind.ABORTED, txn_id, reason="coordinator crash")
+                )
+                for worker in workers:
+                    self.send(worker, MsgKind.ABORT, txn_id)
+                acked = True
+                if self.abort_ack_required and workers:
+                    acked = yield from self._collect_acks(
+                        workers, txn_id, inbox, kind=MsgKind.ABORT
+                    )
+                if acked:
+                    self.wal.checkpoint(txn_id)
+                self.trace.emit("recovery", self.me, txn=txn_id, action="abort")
+            elif state == RecordKind.PREPARED:
+                # "The coordinator resubmits the PREPARE request to the
+                # worker and continues with the normal protocol
+                # execution."
+                yield from self._reapply_logged_updates(txn_id, records)
+                try:
+                    yield from self._voting_round(workers, txn_id, inbox)
+                except TransactionAborted as aborted:
+                    yield from self.wal.force(
+                        self.state_rec(RecordKind.ABORTED, txn_id, reason=aborted.reason)
+                    )
+                    self.store.abort(txn_id)
+                    for worker in workers:
+                        self.send(worker, MsgKind.ABORT, txn_id)
+                    acked = True
+                    if self.abort_ack_required and workers:
+                        acked = yield from self._collect_acks(
+                            workers, txn_id, inbox, kind=MsgKind.ABORT
+                        )
+                    if acked:
+                        self.wal.checkpoint(txn_id)
+                    self.trace.emit("recovery", self.me, txn=txn_id, action="abort-after-vote")
+                    return
+                yield from self.wal.force(self.state_rec(RecordKind.COMMITTED, txn_id))
+                self.store.commit_durable(txn_id)
+                yield from self._finish_commit(workers, txn_id, inbox)
+                self.trace.emit("recovery", self.me, txn=txn_id, action="resume-commit")
+            elif state == RecordKind.COMMITTED:
+                # "The coordinator resends the COMMIT request."
+                if not self.store.has_applied(txn_id):
+                    yield from self._reapply_logged_updates(txn_id, records)
+                    self.store.commit_durable(txn_id)
+                yield from self._finish_commit(workers, txn_id, inbox)
+                self.trace.emit("recovery", self.me, txn=txn_id, action="resend-commit")
+            elif state == RecordKind.ABORTED:
+                for worker in workers:
+                    self.send(worker, MsgKind.ABORT, txn_id)
+                acked = True
+                if self.abort_ack_required and workers:
+                    acked = yield from self._collect_acks(
+                        workers, txn_id, inbox, kind=MsgKind.ABORT
+                    )
+                if acked:
+                    self.wal.checkpoint(txn_id)
+                self.trace.emit("recovery", self.me, txn=txn_id, action="resend-abort")
+        finally:
+            self.server.close_session(txn_id)
+
+    def _finish_commit(self, workers, txn_id: int, inbox) -> Generator:
+        for worker in workers:
+            self.send(worker, MsgKind.COMMIT, txn_id)
+        if self.ack_required and workers:
+            yield from self._collect_acks(workers, txn_id, inbox)
+        if self.coordinator_writes_ended:
+            flush = self.wal.append_lazy(self.state_rec(RecordKind.ENDED, txn_id))
+            flush.callbacks.append(
+                lambda ev, t=txn_id: self.wal.checkpoint(t) if ev.ok else None
+            )
+        self.wal.checkpoint(txn_id)
+
+    def _recover_worker(self, txn_id: int, state, records) -> Generator:
+        if state == RecordKind.PREPARED:
+            # "The worker asks the coordinator to resend the decision."
+            yield from self._reapply_logged_updates(txn_id, records)
+            coordinator = self._coordinator_from(records)
+            inbox = self.server.open_session(txn_id)
+            try:
+                if coordinator is None:
+                    self.trace.emit("recovery", self.me, txn=txn_id, action="no-coordinator")
+                    return
+                msg = None
+                interval = self.params.failure.reply_timeout * (ACK_RETRIES + 1)
+                for _attempt in range(DECISION_RETRIES):
+                    self.send(coordinator, MsgKind.DECISION_REQ, txn_id)
+                    msg = yield from self.recv(
+                        inbox,
+                        kinds=frozenset({MsgKind.COMMIT, MsgKind.ABORT}),
+                        timeout=interval,
+                    )
+                    if msg is not None:
+                        break
+                if msg is None:
+                    self.trace.emit("recovery", self.me, txn=txn_id, action="still-blocked")
+                    return
+                if msg.kind == MsgKind.COMMIT:
+                    yield from self._worker_commit(txn_id)
+                    if self.ack_required:
+                        self.send(coordinator, MsgKind.ACK, txn_id)
+                else:
+                    yield from self._worker_abort(txn_id, coordinator, ack=True)
+                self.wal.checkpoint(txn_id)
+                self.trace.emit("recovery", self.me, txn=txn_id, action="worker-resolved")
+            finally:
+                self.server.close_session(txn_id)
+        elif state == RecordKind.COMMITTED:
+            # "The failure occurred after the worker has received the
+            # decision.  The worker takes no action."  (We still fold
+            # the logged updates into the committed image when the
+            # crash hit between the log force and the fold.)
+            if not self.store.has_applied(txn_id):
+                yield from self._reapply_logged_updates(txn_id, records)
+                self.store.commit_durable(txn_id)
+            self.wal.checkpoint(txn_id)
+            self.trace.emit("recovery", self.me, txn=txn_id, action="worker-done")
+        elif state == RecordKind.ABORTED:
+            self.wal.checkpoint(txn_id)
+
+    def _reapply_logged_updates(self, txn_id: int, records) -> Generator:
+        """Re-install a transaction's logged updates into the cache."""
+        from repro.fs.objects import update_from_description
+
+        for record in records:
+            if record.kind == RecordKind.UPDATES:
+                for desc in record.payload.get("updates", []):
+                    yield self.sim.timeout(self.params.compute.write_latency)
+                    self.store.apply(txn_id, update_from_description(desc))
+
+    @staticmethod
+    def _coordinator_from(records) -> Optional[str]:
+        for record in records:
+            if "coordinator" in record.payload:
+                return record.payload["coordinator"]
+        return None
+
+    # ------------------------------------------------------------------
+    # Stray messages (post-recovery decisions)
+    # ------------------------------------------------------------------
+
+    def handle_stray(self, msg: Message):
+        if msg.kind == MsgKind.COMMIT and self.wal.last_state(msg.txn_id) == RecordKind.PREPARED:
+            # A decision arriving after reboot for a prepared txn whose
+            # recovery query raced with the coordinator's retransmission.
+            def finish():
+                if not self.store.has_applied(msg.txn_id):
+                    records = self.wal.records_for(msg.txn_id)
+                    yield from self._reapply_logged_updates(msg.txn_id, records)
+                yield from self._worker_commit(msg.txn_id)
+                if self.ack_required:
+                    self.send(msg.src, MsgKind.ACK, msg.txn_id)
+                self.wal.checkpoint(msg.txn_id)
+
+            return finish()
+        if msg.kind == MsgKind.ABORT and self.wal.last_state(msg.txn_id) == RecordKind.PREPARED:
+            def finish_abort():
+                yield from self._worker_abort(msg.txn_id, msg.src, ack=True)
+
+            return finish_abort()
+        return super().handle_stray(msg)

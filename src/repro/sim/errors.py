@@ -1,0 +1,37 @@
+"""Exception types used by the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class StopSimulation(Exception):
+    """Raised (or thrown into the run loop) to stop :meth:`Simulator.run`.
+
+    Carries an optional ``value`` that becomes the return value of
+    ``Simulator.run``.
+    """
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupting party may attach a ``cause`` describing why the
+    process was interrupted (e.g. a crash injection or a lock timeout).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class EventRefusedError(SimulationError):
+    """An operation was attempted on an event in an illegal state."""

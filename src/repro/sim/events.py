@@ -1,0 +1,215 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence.  Processes wait on events by
+yielding them; the kernel resumes the process when the event triggers.
+Events can *succeed* (carrying a value) or *fail* (carrying an
+exception, which is thrown into every waiting process).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.sim.errors import EventRefusedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+# Event lifecycle states.
+PENDING = "pending"
+TRIGGERED = "triggered"  # scheduled, value known, callbacks not yet run
+PROCESSED = "processed"  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Optional human-readable label used in traces and ``repr``.
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_state", "_ok", "_value", "defused")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._state = PENDING
+        self._ok = True
+        self._value: Any = None
+        # A failed event whose failure nobody observed would normally be
+        # an error; ``defused`` marks the failure as handled.
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event's outcome (value or failure) is decided."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise EventRefusedError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if not self.triggered:
+            raise EventRefusedError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule the event to succeed with ``value`` after ``delay``."""
+        if self.triggered:
+            raise EventRefusedError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule the event to fail with ``exception`` after ``delay``."""
+        if self.triggered:
+            raise EventRefusedError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def trigger_like(self, other: "Event") -> None:
+        """Trigger with the same outcome as an already-triggered event."""
+        if other._ok:
+            self.succeed(other._value)
+        else:
+            self.fail(other._value)
+
+    # -- kernel interface ---------------------------------------------------
+
+    def _run_callbacks(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.__class__.__name__
+        return f"<{label} state={self._state}>"
+
+    # -- composition ---------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim, name or f"timeout({delay})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        sim._schedule(self, delay)
+
+
+class Condition(Event):
+    """Waits for a combination of events.
+
+    ``evaluate`` receives the list of constituent events and the number
+    that have triggered so far and returns True when the condition is
+    satisfied.  The condition value is a dict mapping each triggered
+    constituent event to its value (in trigger order).
+    """
+
+    __slots__ = ("events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+        name: str = "",
+    ):
+        super().__init__(sim, name or evaluate.__name__)
+        self.events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event._state == PROCESSED:
+                self._on_trigger(event)
+            else:
+                event.callbacks.append(self._on_trigger)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.triggered and e._ok}
+
+    def _on_trigger(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self.events, self._count):
+            self.succeed(self._collect())
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        return count == len(events)
+
+    @staticmethod
+    def any_event(events: list[Event], count: int) -> bool:
+        return count >= 1
+
+
+class AllOf(Condition):
+    """Triggers once every constituent event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, Condition.all_events, events, name="AllOf")
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any constituent event triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, Condition.any_event, events, name="AnyOf")

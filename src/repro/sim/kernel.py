@@ -1,0 +1,167 @@
+"""The simulator event loop.
+
+The kernel is a classic calendar-queue DES core: a binary heap of
+``(time, priority, sequence, event)`` entries.  ``sequence`` is a
+monotonically increasing integer that makes scheduling fully
+deterministic: two events scheduled for the same instant always fire in
+the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.errors import SimulationError, StopSimulation
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+#: Priority of normal events.
+PRIORITY_NORMAL = 1
+#: Priority of urgent events (used by the kernel for process resumption).
+PRIORITY_URGENT = 0
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def producer(sim):
+            yield Timeout(sim, 1.0)
+            return "done"
+
+        proc = sim.process(producer(sim))
+        sim.run()
+        assert sim.now == 1.0
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        #: Number of events processed so far (exposed for statistics).
+        self.events_processed = 0
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
+        """Insert a triggered event into the calendar queue."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Wrap ``generator`` as a process and start it immediately."""
+        return Process(self, generator, name=name)
+
+    # -- execution -----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        time, _priority, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        self.events_processed += 1
+        event._run_callbacks()
+        if not event._ok and not event.defused:
+            # A failure nobody waited on: surface it instead of silently
+            # swallowing a broken process.
+            raise event._value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the schedule drains, ``until`` time passes, or an
+        ``until`` event triggers.
+
+        Returns the value of the ``until`` event when one is given.
+        """
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            stop_event.callbacks.append(self._stop_on_event)
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(f"until={deadline} is in the past (now={self._now})")
+
+        try:
+            while self._heap and self.peek() <= deadline:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        finally:
+            if stop_event is not None and self._stop_on_event in stop_event.callbacks:
+                stop_event.callbacks.remove(self._stop_on_event)
+
+        if stop_event is not None:
+            if stop_event.triggered:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+            raise SimulationError(
+                f"schedule drained at t={self._now} before {stop_event!r} triggered"
+            )
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        event.defused = True
+        raise event._value
+
+    # -- convenience ----------------------------------------------------------
+
+    def run_all(self, processes: Iterable[Process]) -> list[Any]:
+        """Run until all ``processes`` finish; return their values in order."""
+        processes = list(processes)
+        from repro.sim.events import AllOf
+
+        self.run(until=AllOf(self, processes))
+        return [p.value for p in processes]
+
+    def call_at(self, time: float, func: Callable[[], None]) -> Event:
+        """Invoke ``func`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"call_at({time}) is in the past (now={self._now})")
+        event = Timeout(self, time - self._now, name=f"call_at({time})")
+        event.callbacks.append(lambda _e: func())
+        return event

@@ -1,0 +1,125 @@
+"""Trace collection and time-series monitoring.
+
+``TraceLog`` is the statistics module of the simulated cluster (the
+paper's ACID Sim Tools has a dedicated ``statistics`` module).  Every
+subsystem emits :class:`TraceRecord` entries tagged with a category
+(``msg``, ``log_write``, ``lock``, ``txn``, ``crash``...) which the
+analysis layer later folds into Table I counts, timelines and
+throughput figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped observation."""
+
+    time: float
+    category: str
+    actor: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.detail.get(key, default)
+
+
+class TraceLog:
+    """An append-only, queryable event trace."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, category: str, actor: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(self.sim.now, category, actor, detail))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    # -- queries ------------------------------------------------------------------
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        actor: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        **detail_filters: Any,
+    ) -> list[TraceRecord]:
+        """All records matching every given filter."""
+        out = []
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if actor is not None and rec.actor != actor:
+                continue
+            if detail_filters and any(
+                rec.detail.get(k) != v for k, v in detail_filters.items()
+            ):
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: Optional[str] = None, **detail_filters: Any) -> int:
+        return len(self.select(category=category, **detail_filters))
+
+
+class Monitor:
+    """Aggregates a numeric time series (utilisation, queue length...)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def observe(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def maximum(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} is empty")
+        return max(self.values)
+
+    @property
+    def minimum(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} is empty")
+        return min(self.values)
+
+    def time_weighted_mean(self, end_time: float) -> float:
+        """Mean of a step function defined by the observations."""
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} is empty")
+        total = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else end_time
+            total += v * max(0.0, t_next - t)
+        span = end_time - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        return total / span

@@ -1,0 +1,147 @@
+"""Generator-coroutine processes.
+
+A :class:`Process` drives a generator: every value the generator yields
+must be an :class:`~repro.sim.events.Event`; the process sleeps until
+the event triggers and is resumed with the event's value (or has the
+event's exception thrown into it on failure).
+
+A process is itself an event that triggers when the generator returns
+(succeeding with its return value) or raises (failing with the
+exception), so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import PENDING, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+
+class Process(Event):
+    """A running simulation actor wrapping a generator."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick-start: resume at the current instant with an initialisation
+        # event, so process bodies begin executing in creation order.
+        init = Event(sim, name=f"init:{self.name}")
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits on, if any."""
+        return self._waiting_on
+
+    # -- control --------------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process is detached from whatever event it was waiting on
+        (the event itself is unaffected and may still trigger later).
+        Interrupting a dead process is a no-op so that crash injection
+        does not have to care about races with normal completion.
+        """
+        if not self.is_alive:
+            return
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from the waited-on event.
+        if self._waiting_on is not None and self._resume in self._waiting_on.callbacks:
+            self._waiting_on.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wakeup = Event(self.sim, name=f"interrupt:{self.name}")
+        wakeup.callbacks.append(self._resume)
+        wakeup.fail(Interrupt(cause))
+        # The interrupt itself is always considered observed.
+        wakeup.defused = True
+
+    def kill(self, cause: Any = None) -> None:
+        """Terminate the process immediately without running it further.
+
+        Unlike :meth:`interrupt`, the generator gets no chance to handle
+        the event — this models a hard crash where volatile execution
+        state is simply lost.  The process event *succeeds* with
+        ``None`` so that waiters are not poisoned; crash semantics are
+        the responsibility of higher layers.
+        """
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None and self._resume in self._waiting_on.callbacks:
+            self._waiting_on.callbacks.remove(self._resume)
+        self._waiting_on = None
+        self._generator.close()
+        self.succeed(None)
+
+    # -- kernel callback --------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if self.triggered:
+            # Already finished (e.g. kill() raced with a pending
+            # kick-start or relay event): ignore stale wakeups.
+            if not event._ok:
+                event.defused = True
+            return
+        self.sim._active_process = self
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event.defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                raise
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+            try:
+                self._generator.throw(exc)
+            except BaseException:
+                pass
+            self.fail(exc)
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("yielded an event belonging to another simulator"))
+            return
+
+        self._waiting_on = target
+        if target.processed:
+            # Already-processed events resume the process immediately
+            # (still via the scheduler, to preserve determinism).
+            relay = Event(self.sim, name=f"relay:{self.name}")
+            relay.callbacks.append(self._resume)
+            relay.trigger_like(target)
+            if not target._ok:
+                relay.defused = True
+        else:
+            target.callbacks.append(self._resume)

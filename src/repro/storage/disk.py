@@ -1,0 +1,82 @@
+"""FIFO block-device model.
+
+A disk serves one request at a time; each request's service time is
+``op_overhead + nbytes / bandwidth``.  Requests queue in FIFO order, so
+a device shared by several writers (the 1PC shared-log architecture
+attaches every MDS to one log manager) naturally serialises them.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.config import StorageParams
+from repro.sim import Resource, Simulator, TraceLog
+
+
+class Disk:
+    """A shared, FIFO-scheduled block device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: StorageParams | None = None,
+        name: str = "disk",
+        trace: TraceLog | None = None,
+        capacity: int = 1,
+    ):
+        self.sim = sim
+        self.params = params or StorageParams()
+        self.name = name
+        self.trace = trace if trace is not None else TraceLog(sim, enabled=False)
+        self._device = Resource(sim, capacity=capacity, name=name)
+        #: Cumulative bytes written / read (statistics).
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+        self.writes = 0
+        self.reads = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting for the device."""
+        return self._device.queue_length
+
+    @property
+    def busy(self) -> bool:
+        return self._device.in_use > 0
+
+    def write(self, nbytes: float, actor: str = "?") -> Generator:
+        """Generator: occupy the device for the write's service time."""
+        if nbytes < 0:
+            raise ValueError(f"negative write size {nbytes}")
+        with self._device.request() as req:
+            yield req
+            start = self.sim.now
+            yield self.sim.timeout(self.params.write_latency(nbytes))
+            self.bytes_written += nbytes
+            self.writes += 1
+            self.trace.emit(
+                "disk_write",
+                actor,
+                device=self.name,
+                nbytes=nbytes,
+                service=self.sim.now - start,
+            )
+
+    def read(self, nbytes: float, actor: str = "?") -> Generator:
+        """Generator: occupy the device for the read's service time."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes}")
+        with self._device.request() as req:
+            yield req
+            start = self.sim.now
+            yield self.sim.timeout(self.params.read_latency(nbytes))
+            self.bytes_read += nbytes
+            self.reads += 1
+            self.trace.emit(
+                "disk_read",
+                actor,
+                device=self.name,
+                nbytes=nbytes,
+                service=self.sim.now - start,
+            )

@@ -1,0 +1,282 @@
+"""Per-MDS write-ahead log.
+
+Semantics modelled after §II-A of the paper:
+
+* **Forced (synchronous) appends** -- the caller waits until the record
+  is durable on the backing device.  Used for WAL data and protocol
+  state records on the commit critical path.
+* **Lazy (asynchronous) appends** -- the record is buffered and flushed
+  in the background; the caller continues immediately.  The flush still
+  occupies the device, so lazy writes consume bandwidth even though
+  they are off the caller's critical path (this is what lets the 1PC
+  coordinator commit "asynchronously from the point of view of the
+  client" while the device cost remains real).
+* **Log order** is preserved: a forced append also makes every earlier
+  buffered record durable first.
+* **Crash semantics** -- buffered and in-flight records are lost;
+  durable records survive.  ``crash()``/``restart()`` model this.
+* **Checkpoint / GC** -- once a transaction has ENDED (or the protocol
+  allows it), its records can be garbage collected.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.sim import Event, Simulator, TraceLog
+from repro.storage.disk import Disk
+from repro.storage.fencing import FencedError, FencingController
+from repro.storage.records import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class _FlushJob:
+    """One pending append: records plus a completion event."""
+
+    __slots__ = ("records", "done", "sync")
+
+    def __init__(self, sim: Simulator, records: list[LogRecord], sync: bool):
+        self.records = records
+        self.done = Event(sim, name="flush")
+        self.sync = sync
+
+
+class WriteAheadLog:
+    """A single MDS's write-ahead log on a (possibly shared) device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk: Disk,
+        owner: str,
+        trace: TraceLog | None = None,
+        fencing: FencingController | None = None,
+        group_commit: bool = False,
+        group_commit_max_bytes: float = 64 * 1024.0,
+    ):
+        self.sim = sim
+        self.disk = disk
+        self.owner = owner
+        self.trace = trace if trace is not None else TraceLog(sim, enabled=False)
+        self.fencing = fencing
+        #: Group commit: the flusher coalesces every queued append (up
+        #: to ``group_commit_max_bytes``) into one device write, so
+        #: concurrent forces share a single rotation instead of
+        #: queueing one write each.
+        self.group_commit = group_commit
+        self.group_commit_max_bytes = group_commit_max_bytes
+        #: Durable records, in log order.
+        self._durable: list[LogRecord] = []
+        self._queue: deque[_FlushJob] = deque()
+        self._flusher = None
+        self._wakeup: Optional[Event] = None
+        self._generation = 0
+        self._lsn = 0
+        self._start_flusher()
+        #: Counts for statistics / Table I measurement.
+        self.forced_appends = 0
+        self.lazy_appends = 0
+
+    # -- write path ----------------------------------------------------------
+
+    def _check_fence(self) -> None:
+        if self.fencing is not None and self.fencing.is_fenced(self.owner):
+            raise FencedError(f"{self.owner} is fenced; write rejected")
+
+    def force(self, *records: LogRecord) -> Generator:
+        """Generator: durably append ``records``; resumes when durable.
+
+        Earlier buffered lazy records are flushed first (log order).
+        """
+        self._check_fence()
+        if not records:
+            raise ValueError("force() requires at least one record")
+        self.forced_appends += 1
+        job = self._enqueue(list(records), sync=True)
+        yield job.done
+        # A crash between enqueue and flush fails the job.
+        return None
+
+    def append_lazy(self, *records: LogRecord) -> Event:
+        """Buffer ``records``; flushed in the background.
+
+        Returns the flush-completion event (callers normally ignore it;
+        tests and the checkpointer use it).
+        """
+        self._check_fence()
+        if not records:
+            raise ValueError("append_lazy() requires at least one record")
+        self.lazy_appends += 1
+        job = self._enqueue(list(records), sync=False)
+        # Nobody is obliged to observe a lazy flush failure.
+        job.done.defused = True
+        return job.done
+
+    def _enqueue(self, records: list[LogRecord], sync: bool) -> _FlushJob:
+        job = _FlushJob(self.sim, records, sync)
+        self._queue.append(job)
+        for record in records:
+            if record.lsn == 0:
+                self._lsn += 1
+                object.__setattr__(record, "lsn", self._lsn)
+        for record in records:
+            self.trace.emit(
+                "log_append",
+                self.owner,
+                kind=str(record.kind),
+                txn=record.txn_id,
+                sync=sync,
+                nbytes=record.size,
+            )
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return job
+
+    # -- background flusher -----------------------------------------------------
+
+    def _start_flusher(self) -> None:
+        self._flusher = self.sim.process(
+            self._flush_loop(self._generation), name=f"wal-flusher:{self.owner}"
+        )
+
+    def _next_batch(self) -> list[_FlushJob]:
+        """The jobs the next device write covers."""
+        if not self.group_commit:
+            return [self._queue[0]]
+        batch: list[_FlushJob] = []
+        total = 0.0
+        for job in self._queue:
+            nbytes = sum(r.size for r in job.records)
+            if batch and total + nbytes > self.group_commit_max_bytes:
+                break
+            batch.append(job)
+            total += nbytes
+        return batch
+
+    def _flush_loop(self, generation: int) -> Generator:
+        while True:
+            if generation != self._generation:
+                return
+            if not self._queue:
+                self._wakeup = Event(self.sim, name=f"wal-wakeup:{self.owner}")
+                yield self._wakeup
+                continue
+            batch = self._next_batch()
+            nbytes = sum(r.size for job in batch for r in job.records)
+            try:
+                self._check_fence()
+                yield from self.disk.write(nbytes, actor=self.owner)
+            except FencedError as exc:
+                # Fenced mid-stream: the write never reaches the device.
+                for job in batch:
+                    if self._queue and self._queue[0] is job:
+                        self._queue.popleft()
+                    if not job.done.triggered:
+                        job.done.fail(exc)
+                        if not job.sync:
+                            job.done.defused = True
+                continue
+            if generation != self._generation:
+                # Crashed while the write was in flight: data lost.
+                return
+            for job in batch:
+                self._queue.popleft()
+                self._durable.extend(job.records)
+                for record in job.records:
+                    self.trace.emit(
+                        "log_durable",
+                        self.owner,
+                        kind=str(record.kind),
+                        txn=record.txn_id,
+                        sync=job.sync,
+                        nbytes=record.size,
+                    )
+                if not job.done.triggered:
+                    job.done.succeed()
+
+    # -- crash / restart -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all buffered and in-flight records; keep durable ones."""
+        self._generation += 1
+        lost = list(self._queue)
+        self._queue.clear()
+        for job in lost:
+            if not job.done.triggered:
+                job.done.fail(LogLostError(f"{self.owner} crashed before flush"))
+                job.done.defused = True
+        if self._wakeup is not None and not self._wakeup.triggered:
+            # Wake the old flusher so it observes the generation change
+            # and exits.
+            self._wakeup.succeed()
+        self.trace.emit("log_crash", self.owner, lost_jobs=len(lost))
+
+    def restart(self) -> None:
+        """Start a fresh flusher after a crash (log content unchanged)."""
+        self._start_flusher()
+        self.trace.emit("log_restart", self.owner)
+
+    # -- read path -------------------------------------------------------------------
+
+    @property
+    def durable_records(self) -> tuple[LogRecord, ...]:
+        """Snapshot of durable records (no device time; local memory of
+        what was written — used by tests and local recovery, which in a
+        real system would read the log once at reboot)."""
+        return tuple(self._durable)
+
+    def records_for(self, txn_id: int) -> list[LogRecord]:
+        return [r for r in self._durable if r.txn_id == txn_id]
+
+    def has(self, kind: RecordKind, txn_id: int) -> bool:
+        return any(r.kind == kind for r in self.records_for(txn_id))
+
+    def last_state(self, txn_id: int) -> Optional[RecordKind]:
+        """The most recent protocol *state* record for ``txn_id``."""
+        states = {
+            RecordKind.STARTED,
+            RecordKind.PREPARED,
+            RecordKind.COMMITTED,
+            RecordKind.ABORTED,
+            RecordKind.ENDED,
+        }
+        for record in reversed(self._durable):
+            if record.txn_id == txn_id and record.kind in states:
+                return record.kind
+        return None
+
+    def open_transactions(self) -> list[int]:
+        """Transactions with records but no ENDED marker, oldest first."""
+        seen: dict[int, bool] = {}
+        for record in self._durable:
+            if record.txn_id is None:
+                continue
+            seen.setdefault(record.txn_id, False)
+            if record.kind == RecordKind.ENDED:
+                seen[record.txn_id] = True
+        return [txn for txn, ended in seen.items() if not ended]
+
+    def read(self, actor: str = "?") -> Generator:
+        """Generator: read the full log from the device (takes time)."""
+        nbytes = sum(r.size for r in self._durable) or 1.0
+        yield from self.disk.read(nbytes, actor=actor)
+        return tuple(self._durable)
+
+    # -- checkpoint / GC ------------------------------------------------------------------
+
+    def checkpoint(self, txn_id: int) -> None:
+        """Garbage-collect every record belonging to ``txn_id``."""
+        before = len(self._durable)
+        self._durable = [r for r in self._durable if r.txn_id != txn_id]
+        if len(self._durable) != before:
+            self.trace.emit("log_gc", self.owner, txn=txn_id, removed=before - len(self._durable))
+
+    def size_bytes(self) -> float:
+        return sum(r.size for r in self._durable)
+
+
+class LogLostError(Exception):
+    """A buffered record was lost in a crash before reaching the device."""

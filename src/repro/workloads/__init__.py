@@ -1,0 +1,35 @@
+"""Workload generators.
+
+* :mod:`repro.workloads.burst` -- the §IV workload: N distributed
+  transactions submitted at the same instant to the same acp server
+  (HPC applications creating many files in one directory).
+* :mod:`repro.workloads.mixed` -- steady-state mixes of CREATE /
+  DELETE / RENAME with configurable arrival processes, plus an
+  mdtest-like phase workload (create-all, stat-all is metadata-read and
+  free here, delete-all).
+* :mod:`repro.workloads.replay` -- timestamped operation-trace replay
+  (open or closed loop) with JSON save/load and a synthetic HPC
+  checkpoint-trace generator.
+"""
+
+from repro.workloads.burst import BurstResult, run_batched_burst, run_burst
+from repro.workloads.mixed import MixedWorkload, run_mdtest_phases, run_mixed
+from repro.workloads.replay import (
+    load_ops,
+    run_replay,
+    save_ops,
+    synthetic_checkpoint_trace,
+)
+
+__all__ = [
+    "BurstResult",
+    "MixedWorkload",
+    "load_ops",
+    "run_batched_burst",
+    "run_burst",
+    "run_mdtest_phases",
+    "run_mixed",
+    "run_replay",
+    "save_ops",
+    "synthetic_checkpoint_trace",
+]

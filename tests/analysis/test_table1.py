@@ -1,0 +1,49 @@
+"""The headline correctness artifact: measured Table I == paper's Table I."""
+
+import pytest
+
+from repro.analysis.costs import TABLE1, CostRow, measure_protocol_costs
+from repro.harness.table1 import run_table1
+
+
+@pytest.mark.parametrize("protocol", sorted(TABLE1))
+def test_measured_costs_match_paper(protocol):
+    measured = measure_protocol_costs(protocol)
+    assert measured.row == TABLE1[protocol], (
+        f"{protocol}: measured {measured.row} != paper {TABLE1[protocol]}"
+    )
+
+
+def test_paper_rows_transcribed_correctly():
+    assert TABLE1["PrN"] == CostRow(5, 1, 4, 1, 4, 4)
+    assert TABLE1["PrC"] == CostRow(4, 1, 3, 0, 3, 2)
+    assert TABLE1["EP"] == CostRow(4, 1, 3, 0, 1, 0)
+    assert TABLE1["1PC"] == CostRow(3, 1, 2, 0, 1, 0)
+
+
+def test_one_pc_strictly_dominates_prn():
+    a, b = TABLE1["1PC"], TABLE1["PrN"]
+    assert a.sync_total < b.sync_total
+    assert a.sync_critical < b.sync_critical
+    assert a.msgs_total < b.msgs_total
+    assert a.msgs_critical < b.msgs_critical
+
+
+def test_client_latency_reflects_critical_path():
+    """Fewer critical-path writes must mean lower client latency."""
+    latencies = {p: measure_protocol_costs(p).client_latency for p in TABLE1}
+    assert latencies["1PC"] < latencies["EP"] <= latencies["PrC"] < latencies["PrN"]
+
+
+def test_render_table_mentions_all_protocols():
+    text = run_table1(measured=False)
+    for name in TABLE1:
+        assert name in text
+    assert "Table I" in text
+
+
+def test_render_table_measured_marks_agreement():
+    text = run_table1(measured=True)
+    # Every bracketed measured value equals the preceding paper value.
+    assert "(5, 1) [(5, 1)]" in text
+    assert "(3, 1) [(3, 1)]" in text

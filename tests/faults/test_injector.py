@@ -1,0 +1,170 @@
+"""Unit tests for fault actions and schedules."""
+
+import pytest
+
+from repro.faults import (
+    CrashFault,
+    FaultPlan,
+    LinkFault,
+    PartitionFault,
+    VoteRefusalFault,
+    scenario,
+)
+from tests.protocols.conftest import drain, make_cluster, run_create
+
+
+def test_fault_requires_exactly_one_trigger():
+    with pytest.raises(ValueError):
+        CrashFault(node="mds1")
+    with pytest.raises(ValueError):
+        CrashFault(node="mds1", at=1.0, when=lambda t: True)
+
+
+def test_crash_fault_requires_node():
+    with pytest.raises(ValueError):
+        CrashFault(at=1.0)
+
+
+def test_partition_fault_requires_groups():
+    with pytest.raises(ValueError):
+        PartitionFault(at=1.0)
+
+
+def test_link_fault_requires_endpoints():
+    with pytest.raises(ValueError):
+        LinkFault(at=1.0, a="mds1")
+
+
+def test_vote_refusal_requires_node():
+    with pytest.raises(ValueError):
+        VoteRefusalFault(at=1.0)
+
+
+def test_timed_crash_fires_and_restarts():
+    cluster, client = make_cluster("1PC")
+    plan = FaultPlan([CrashFault(node="mds2", at=1e-3, restart_after=0.05)])
+    plan.install(cluster)
+    client.submit(client.plan_create("/dir1/f0"))
+    cluster.sim.run(until=cluster.sim.now + 120.0)
+    assert plan.all_fired
+    assert cluster.trace.count("crash", actor="mds2") >= 1
+    assert not cluster.servers["mds2"].crashed
+    assert cluster.check_invariants() == []
+
+
+def test_crash_without_restart():
+    cluster, _client = make_cluster("1PC")
+    plan = FaultPlan([CrashFault(node="mds2", at=1e-3, restart_after=float("inf"))])
+    plan.install(cluster)
+    cluster.sim.run(until=1.0)
+    assert cluster.servers["mds2"].crashed
+
+
+def test_trace_triggered_crash():
+    cluster, client = make_cluster("1PC")
+    plan = FaultPlan(
+        [
+            CrashFault(
+                node="mds2",
+                when=lambda t: t.count("msg_recv", kind="UPDATE_REQ") > 0,
+            )
+        ]
+    )
+    plan.install(cluster)
+    client.submit(client.plan_create("/dir1/f0"))
+    cluster.sim.run(until=cluster.sim.now + 120.0)
+    assert plan.all_fired
+    # The crash happened after the worker had received the request.
+    crash_time = cluster.trace.select("crash", actor="mds2")[0].time
+    recv_time = cluster.trace.select("msg_recv", kind="UPDATE_REQ")[0].time
+    assert crash_time >= recv_time
+    assert cluster.check_invariants() == []
+
+
+def test_partition_fault_heals():
+    cluster, client = make_cluster("1PC")
+    plan = FaultPlan(
+        [PartitionFault(groups=[frozenset({"mds2"})], heal_after=0.5, at=1e-3)]
+    )
+    plan.install(cluster)
+    cluster.sim.run(until=0.1)
+    assert not cluster.network.connected("mds1", "mds2")
+    cluster.sim.run(until=0.6)
+    assert cluster.network.connected("mds1", "mds2")
+
+
+def test_link_fault_restores():
+    cluster, _client = make_cluster("1PC")
+    plan = FaultPlan([LinkFault(a="mds1", b="mds2", restore_after=0.5, at=1e-3)])
+    plan.install(cluster)
+    cluster.sim.run(until=0.1)
+    assert not cluster.network.connected("mds1", "mds2")
+    cluster.sim.run(until=0.7)
+    assert cluster.network.connected("mds1", "mds2")
+
+
+def test_vote_refusal_fault_aborts_next_txn():
+    cluster, client = make_cluster("1PC")
+    FaultPlan([VoteRefusalFault(node="mds2", at=0.0)]).install(cluster)
+    result = run_create(cluster, client)
+    assert result["committed"] is False
+    drain(cluster)
+    assert cluster.check_invariants() == []
+
+
+def test_double_install_rejected():
+    cluster, _client = make_cluster("1PC")
+    plan = FaultPlan([CrashFault(node="mds2", at=1.0)])
+    plan.install(cluster)
+    with pytest.raises(RuntimeError):
+        plan.install(cluster)
+
+
+def test_fault_emits_trace_record():
+    cluster, _client = make_cluster("1PC")
+    FaultPlan([CrashFault(node="mds2", at=1e-3)]).install(cluster)
+    cluster.sim.run(until=0.01)
+    faults = cluster.trace.select("fault")
+    assert len(faults) == 1
+    assert "CrashFault" in faults[0].get("fault")
+
+
+def test_named_scenarios_construct():
+    for name in (
+        "worker-crash-before-commit",
+        "worker-crash-after-prepare",
+        "coordinator-crash-after-start",
+        "partition-at-vote",
+        "flaky-link",
+        "vote-refusal",
+    ):
+        plan = scenario(name)
+        assert isinstance(plan, FaultPlan)
+        assert plan.faults
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(KeyError):
+        scenario("meteor-strike")
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "worker-crash-before-commit",
+        "worker-crash-after-prepare",
+        "coordinator-crash-after-start",
+        "partition-at-vote",
+        "vote-refusal",
+    ],
+)
+def test_every_scenario_preserves_atomicity(protocol, name):
+    """Each named scenario, against each protocol: consistent end state."""
+    cluster, client = make_cluster(protocol)
+    scenario(name).install(cluster)
+    client.submit(client.plan_create("/dir1/f0"))
+    cluster.sim.run(until=cluster.sim.now + 200.0)
+    assert cluster.check_invariants() == [], (protocol, name)
+    dentry = cluster.store_of("mds1").stable_directories.get("/dir1", {}).get("f0")
+    inodes = cluster.store_of("mds2").stable_inodes
+    assert (dentry is not None) == (len(inodes) > 0), (protocol, name)

@@ -1,0 +1,108 @@
+"""Tests for the overlay / cache / stable layering of MetadataStore."""
+
+from repro.fs import AddDentry, CreateInode, MetadataStore
+
+
+def make_store():
+    store = MetadataStore("mds1")
+    store.mkdir("/d")
+    return store
+
+
+def test_commit_makes_updates_cache_visible_not_stable():
+    store = make_store()
+    store.apply(1, AddDentry("/d", "f", 10))
+    store.commit(1)
+    assert store.lookup("/d", "f") == 10  # visible to reads
+    assert store.stable_directories["/d"] == {}  # not yet durable
+    assert store.unhardened() == [1]
+    assert store.is_visible(1)
+    assert not store.has_applied(1)
+
+
+def test_harden_folds_into_stable():
+    store = make_store()
+    store.apply(1, AddDentry("/d", "f", 10))
+    store.commit(1)
+    store.harden(1)
+    assert store.stable_directories["/d"] == {"f": 10}
+    assert store.has_applied(1)
+    assert store.unhardened() == []
+
+
+def test_commit_durable_is_commit_plus_harden():
+    store = make_store()
+    store.apply(1, AddDentry("/d", "f", 10))
+    store.commit_durable(1)
+    assert store.lookup("/d", "f") == 10
+    assert store.stable_directories["/d"] == {"f": 10}
+
+
+def test_crash_reverts_cache_to_stable():
+    store = make_store()
+    store.apply(1, AddDentry("/d", "hardened", 1))
+    store.commit_durable(1)
+    store.apply(2, AddDentry("/d", "cache_only", 2))
+    store.commit(2)
+    store.apply(3, AddDentry("/d", "overlay_only", 3))
+    store.crash()
+    assert store.lookup("/d", "hardened") == 1
+    assert store.lookup("/d", "cache_only") is None
+    assert store.lookup("/d", "overlay_only") is None
+    assert store.unhardened() == [] and store.in_flight() == []
+
+
+def test_harden_after_crash_is_noop():
+    store = make_store()
+    store.apply(1, AddDentry("/d", "f", 10))
+    store.commit(1)
+    store.crash()
+    store.harden(1)  # the pending record died with the cache
+    assert store.stable_directories["/d"] == {}
+
+
+def test_recommit_after_harden_is_noop():
+    store = make_store()
+    store.apply(1, AddDentry("/d", "f", 10))
+    store.commit_durable(1)
+    # Recovery replays: apply + commit again must not double-apply.
+    store.apply(1, AddDentry("/d", "g", 11))
+    store.commit(1)
+    store.harden(1)
+    assert store.stable_directories["/d"] == {"f": 10}
+    assert store.lookup("/d", "g") is None
+
+
+def test_second_txn_sees_cache_committed_state():
+    """A transaction started after an unhardened commit must observe it
+    (EEXIST semantics during the 1PC early-release window)."""
+    store = make_store()
+    store.apply(1, AddDentry("/d", "f", 10))
+    store.commit(1)
+    import pytest
+
+    from repro.fs import UpdateError
+
+    with pytest.raises(UpdateError):
+        store.apply(2, AddDentry("/d", "f", 99))
+
+
+def test_mkdir_and_adopt_populate_both_layers():
+    store = make_store()
+    from repro.fs import FileType, Inode
+
+    store.adopt_inode(Inode(5, FileType.FILE))
+    assert store.inode(5) is not None
+    assert 5 in store.stable_inodes
+    assert store.has_dir("/d")
+    assert "/d" in store.stable_directories
+
+
+def test_inode_read_returns_copy():
+    store = make_store()
+    from repro.fs import FileType, Inode
+
+    store.adopt_inode(Inode(5, FileType.FILE))
+    view = store.inode(5)
+    view.nlink = 99
+    assert store.inode(5).nlink == 1

@@ -1,0 +1,127 @@
+"""Metadata migration (the §V Ursa Minor alternative)."""
+
+import pytest
+
+from repro.fs import ObjectId, plan_migrate
+from repro.harness.migration_study import (
+    MigratablePlacement,
+    migrate_directory,
+    run_strategy,
+)
+from repro.mds.cluster import Cluster
+
+
+def build_cluster(protocol="1PC"):
+    placement = MigratablePlacement({"/": "mds1", "/hot": "mds1"}, default="mds2")
+    cluster = Cluster(
+        protocol=protocol,
+        server_names=["mds1", "mds2"],
+        placement=placement,
+    )
+    cluster.mkdir("/hot")
+    return cluster, cluster.new_client()
+
+
+def seed(cluster, client, n=5):
+    def driver(sim):
+        for i in range(n):
+            result = yield from client.create(f"/hot/f{i}")
+            assert result["committed"]
+
+    p = cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=p)
+    cluster.sim.run(until=cluster.sim.now + 30.0)
+
+
+def test_plan_migrate_structure():
+    plan = plan_migrate("/hot", {"a": 1, "b": 2}, "mds1", "mds2")
+    assert plan.op == "MIGRATE"
+    assert plan.coordinator == "mds1"
+    assert plan.workers == ["mds2"]
+    kinds_src = [type(u).__name__ for u in plan.updates["mds1"]]
+    kinds_dst = [type(u).__name__ for u in plan.updates["mds2"]]
+    assert kinds_src == ["RemoveDentry", "RemoveDentry", "RemoveDirTable"]
+    assert kinds_dst == ["CreateDirTable", "AddDentry", "AddDentry"]
+    assert plan.detail["n_entries"] == 2
+
+
+def test_plan_migrate_same_node_rejected():
+    with pytest.raises(ValueError):
+        plan_migrate("/hot", {}, "mds1", "mds1")
+
+
+def test_migration_moves_directory_atomically(protocol):
+    cluster, client = build_cluster(protocol)
+    seed(cluster, client, n=5)
+    before = cluster.listdir("/hot")
+
+    def driver(sim):
+        result = yield from migrate_directory(cluster, client, "/hot", "mds2")
+        return result
+
+    p = cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=p)
+    assert p.value["committed"] is True
+    cluster.sim.run(until=cluster.sim.now + 60.0)
+    assert cluster.check_invariants() == []
+    # The table (with identical contents) now lives at mds2 only.
+    assert not cluster.store_of("mds1").has_dir("/hot")
+    assert cluster.store_of("mds2").listdir("/hot") == before
+    # Ownership repointed: new creates are local to mds2.
+    plan = client.plan_create("/hot/after")
+    assert plan.coordinator == "mds2"
+    assert not plan.is_distributed
+
+
+def test_post_migration_operations_work_end_to_end():
+    cluster, client = build_cluster()
+    seed(cluster, client, n=3)
+
+    def driver(sim):
+        yield from migrate_directory(cluster, client, "/hot", "mds2")
+        r1 = yield from client.create("/hot/new")
+        r2 = yield from client.delete("/hot/f0")
+        return r1["committed"], r2["committed"]
+
+    p = cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=p)
+    assert p.value == (True, True)
+    cluster.sim.run(until=cluster.sim.now + 60.0)
+    assert cluster.check_invariants() == []
+    assert set(cluster.listdir("/hot")) == {"f1", "f2", "new"}
+
+
+def test_migration_crash_atomicity(protocol):
+    """Crash the destination mid-migration: the directory is wholly at
+    one node or the other, never split, and no dentry is lost."""
+    cluster, client = build_cluster(protocol)
+    seed(cluster, client, n=5)
+
+    def driver(sim):
+        try:
+            yield from migrate_directory(cluster, client, "/hot", "mds2")
+        except Exception:
+            pass
+
+    cluster.sim.process(driver(cluster.sim))
+    cluster.sim.run(until=cluster.sim.now + 2e-3)
+    cluster.crash_server("mds2")
+    cluster.restart_server("mds2")
+    cluster.sim.run(until=cluster.sim.now + 400.0)
+    assert cluster.check_invariants() == []
+    at_src = cluster.store_of("mds1").stable_directories.get("/hot")
+    at_dst = cluster.store_of("mds2").stable_directories.get("/hot")
+    assert (at_src is None) != (at_dst is None), "directory split across nodes"
+    surviving = at_src if at_src is not None else at_dst
+    assert set(surviving) == {f"f{i}" for i in range(5)}
+
+
+def test_strategy_runner_validates_strategy():
+    with pytest.raises(ValueError):
+        run_strategy("teleport", creates=1)
+
+
+def test_migration_cost_scales_with_directory_size():
+    small = run_strategy("migrate-first", creates=2, existing_entries=5)
+    large = run_strategy("migrate-first", creates=2, existing_entries=60)
+    assert large.total_time > small.total_time * 1.5

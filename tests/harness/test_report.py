@@ -1,0 +1,42 @@
+"""The one-shot reproduction report."""
+
+import pytest
+
+from repro.harness.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(n=30)
+
+
+def test_report_contains_all_sections(report_text):
+    assert "reproduction report" in report_text
+    assert "Table I" in report_text
+    assert "Figure 6" in report_text
+    assert "Analytical model vs simulation" in report_text
+    assert "Crash recovery" in report_text
+
+
+def test_report_states_parameters(report_text):
+    assert "network 100 us" in report_text
+    assert "log device 400 KB/s" in report_text
+
+
+def test_report_shows_measured_table1_agreement(report_text):
+    assert "(3, 1) [(3, 1)]" in report_text  # 1PC totals match
+    assert "(5, 1) [(5, 1)]" in report_text  # PrN totals match
+
+
+def test_report_gains_present(report_text):
+    assert "measured gains" in report_text
+    assert "1PC +" in report_text
+
+
+def test_cli_report(capsys):
+    from repro.cli import main
+
+    code = main(["report", "--n", "25"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "reproduction report" in out

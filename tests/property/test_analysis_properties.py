@@ -1,0 +1,75 @@
+"""Property-based tests for the analysis layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.costs import _disjoint_interval_count
+from repro.analysis.metrics import percentile
+
+floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(st.tuples(floats, floats), max_size=30))
+def test_disjoint_count_bounded(raw):
+    intervals = [(min(a, b), max(a, b)) for a, b in raw]
+    count = _disjoint_interval_count(intervals)
+    assert 0 <= count <= len(intervals)
+    if intervals:
+        assert count >= 1
+
+
+@given(st.lists(floats, min_size=1, max_size=20))
+def test_disjoint_count_of_chain_is_all(points):
+    """Sequential non-overlapping intervals all count."""
+    points = sorted(set(points))
+    intervals = [(points[i], points[i]) for i in range(len(points))]
+    assert _disjoint_interval_count(intervals) == len(intervals)
+
+
+@given(st.lists(floats, min_size=2, max_size=20))
+def test_fully_overlapping_intervals_count_once(points):
+    lo, hi = min(points), max(points) + 1.0
+    intervals = [(lo, hi)] * len(points)
+    assert _disjoint_interval_count(intervals) == 1
+
+
+@given(st.lists(floats, min_size=1, max_size=50), st.floats(min_value=0, max_value=100))
+def test_percentile_within_bounds(values, pct):
+    values = sorted(values)
+    p = percentile(values, pct)
+    assert values[0] <= p <= values[-1]
+
+
+@given(st.lists(floats, min_size=1, max_size=50))
+def test_percentile_monotone_in_pct(values):
+    values = sorted(values)
+    ps = [percentile(values, q) for q in (0, 25, 50, 75, 100)]
+    assert ps == sorted(ps)
+
+
+@given(
+    st.lists(
+        st.tuples(floats, st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60)
+def test_throughput_positive_for_nonzero_makespan(raw):
+    from repro.analysis.metrics import throughput
+    from repro.protocols.base import TxnOutcome
+
+    outcomes = [
+        TxnOutcome(
+            txn_id=i,
+            op="CREATE",
+            path=f"/d/{i}",
+            committed=True,
+            submitted_at=t,
+            replied_at=t + dt,
+            finished_at=t + dt,
+            coordinator="mds1",
+        )
+        for i, (t, dt) in enumerate(raw)
+    ]
+    assert throughput(outcomes) > 0

@@ -1,0 +1,118 @@
+"""Abort paths: worker refusals, conflicting updates, lock timeouts."""
+
+import pytest
+
+from repro.storage.records import RecordKind
+from tests.protocols.conftest import drain, make_cluster, run_create
+
+
+def test_worker_vote_refusal_aborts(protocol):
+    cluster, client = make_cluster(protocol)
+    cluster.servers["mds2"].fail_next_vote = True
+    result = run_create(cluster, client)
+    assert result["committed"] is False
+    drain(cluster)
+    assert cluster.check_invariants() == []
+    # Nothing was created anywhere.
+    assert cluster.lookup("/dir1/f0") is None
+    assert cluster.store_of("mds2").stable_inodes == {}
+
+
+def test_abort_then_retry_succeeds(protocol):
+    cluster, client = make_cluster(protocol)
+    cluster.servers["mds2"].fail_next_vote = True
+
+    def scenario(sim):
+        first = yield from client.create("/dir1/f0")
+        second = yield from client.create("/dir1/f0")
+        return first["committed"], second["committed"]
+
+    p = cluster.sim.process(scenario(cluster.sim))
+    cluster.sim.run(until=p)
+    assert p.value == (False, True)
+    drain(cluster)
+    assert cluster.check_invariants() == []
+
+
+def test_abort_releases_directory_lock(protocol):
+    cluster, client = make_cluster(protocol)
+    cluster.servers["mds2"].fail_next_vote = True
+    run_create(cluster, client)
+    drain(cluster)
+    assert cluster.servers["mds1"].locks.holders(("dir", "/dir1")) == {}
+    mgr = cluster.servers["mds1"].locks
+    assert mgr._table == {}
+
+
+def test_worker_conflict_aborts_cleanly(protocol):
+    """The worker rejects updates that violate its local state (here a
+    DecLink on a non-existent inode)."""
+    from repro.fs import DecLink, OpPlan, RemoveDentry
+
+    cluster, client = make_cluster(protocol)
+    run_create(cluster, client)
+    drain(cluster)
+    # Hand-build a DELETE plan with a bogus inode number.
+    plan = OpPlan(
+        op="DELETE",
+        path="/dir1/f0",
+        updates={
+            "mds1": [RemoveDentry("/dir1", "f0")],
+            "mds2": [DecLink(999_999)],
+        },
+        coordinator="mds1",
+    )
+    done = cluster.sim.process(client.run(plan), name="bad-delete")
+    cluster.sim.run(until=done)
+    assert done.value["committed"] is False
+    drain(cluster)
+    # The file still exists, consistently.
+    assert cluster.check_invariants() == []
+    assert cluster.lookup("/dir1/f0") is not None
+
+
+def test_abort_writes_aborted_record(protocol):
+    cluster, client = make_cluster(protocol)
+    cluster.servers["mds2"].fail_next_vote = True
+    run_create(cluster, client)
+    drain(cluster)
+    aborted = cluster.trace.select("log_append", kind=str(RecordKind.ABORTED))
+    assert any(r.actor == "mds1" for r in aborted)
+
+
+def test_prc_abort_is_acknowledged(twopc_protocol):
+    """PrC/PrN/EP abort cases all use the full acknowledged abort (the
+    presumption never covers aborts)."""
+    cluster, client = make_cluster(twopc_protocol)
+    cluster.servers["mds2"].fail_next_vote = True
+    run_create(cluster, client)
+    drain(cluster)
+    # Logs fully collected on both sides afterwards.
+    assert cluster.storage.log_of("mds1").durable_records == ()
+    assert cluster.storage.log_of("mds2").durable_records == ()
+
+
+def test_coordinator_local_conflict_aborts_before_worker(protocol):
+    """An EEXIST at the coordinator aborts without touching the worker."""
+    cluster, client = make_cluster(protocol)
+    run_create(cluster, client)
+    drain(cluster)
+    before = len(cluster.store_of("mds2").stable_inodes)
+    done = cluster.sim.process(client.run(client.plan_create("/dir1/f0")), name="dup")
+    cluster.sim.run(until=done)
+    assert done.value["committed"] is False
+    drain(cluster)
+    assert len(cluster.store_of("mds2").stable_inodes) == before
+    assert cluster.check_invariants() == []
+
+
+def test_many_aborts_do_not_leak_sessions(protocol):
+    cluster, client = make_cluster(protocol)
+    for i in range(5):
+        cluster.servers["mds2"].fail_next_vote = True
+        result = run_create(cluster, client)
+        assert result["committed"] is False
+    drain(cluster)
+    assert cluster.servers["mds1"]._sessions == {}
+    assert cluster.servers["mds2"]._sessions == {}
+    assert cluster.check_invariants() == []

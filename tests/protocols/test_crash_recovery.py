@@ -1,0 +1,225 @@
+"""Crash/recovery correctness: atomicity under crashes at every phase.
+
+The method: start one distributed CREATE, crash the coordinator or the
+worker at a chosen virtual time (sweeping the crash point across the
+whole transaction), restart it, let recovery run, and assert
+
+* the namespace invariants hold over the durable state, and
+* the transaction is all-or-nothing: the dentry (coordinator side) and
+  the inode (worker side) either both exist or both do not.
+
+For 1PC the "all" case is *eventual*: once the worker has committed,
+the redo record guarantees the coordinator commits too after reboot.
+"""
+
+import pytest
+
+from tests.protocols.conftest import ALL_PROTOCOLS, drain, make_cluster
+
+
+def crash_and_recover(protocol, victim, crash_at, settle=150.0):
+    """One CREATE; crash `victim` at `crash_at`; recover; settle."""
+    cluster, client = make_cluster(protocol)
+    client.submit(client.plan_create("/dir1/f0"))
+    cluster.sim.run(until=crash_at)
+    cluster.crash_server(victim)
+    cluster.restart_server(victim)  # after the default reboot delay
+    cluster.sim.run(until=cluster.sim.now + settle)
+    return cluster
+
+
+def atomicity_state(cluster):
+    """(dentry_exists, inode_exists) over durable state."""
+    dentry = cluster.store_of("mds1").stable_directories.get("/dir1", {}).get("f0")
+    inodes = cluster.store_of("mds2").stable_inodes
+    return (dentry is not None, len(inodes) > 0)
+
+
+# Crash points sweeping the transaction: the failure-free CREATE takes
+# ~5-8 ms under the calibrated parameters; sample densely across it.
+CRASH_POINTS = [0.2e-3, 0.5e-3, 1e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3, 8e-3, 12e-3]
+
+
+@pytest.mark.parametrize("crash_at", CRASH_POINTS)
+def test_worker_crash_atomicity(protocol, crash_at):
+    cluster = crash_and_recover(protocol, "mds2", crash_at)
+    assert cluster.check_invariants() == []
+    dentry, inode = atomicity_state(cluster)
+    assert dentry == inode, (
+        f"{protocol}: partial transaction after worker crash at {crash_at}: "
+        f"dentry={dentry} inode={inode}"
+    )
+
+
+@pytest.mark.parametrize("crash_at", CRASH_POINTS)
+def test_coordinator_crash_atomicity(protocol, crash_at):
+    cluster = crash_and_recover(protocol, "mds1", crash_at)
+    assert cluster.check_invariants() == []
+    dentry, inode = atomicity_state(cluster)
+    assert dentry == inode, (
+        f"{protocol}: partial transaction after coordinator crash at {crash_at}: "
+        f"dentry={dentry} inode={inode}"
+    )
+
+
+def test_1pc_commits_eventually_once_worker_committed():
+    """Crash the 1PC coordinator right after the worker's commit write:
+    the redo record must drive the transaction to commit on reboot."""
+    cluster, client = make_cluster("1PC")
+    client.submit(client.plan_create("/dir1/f0"))
+    # Run until the worker has durably committed.
+    while not any(
+        r.category == "log_durable"
+        and r.actor == "mds2"
+        and r.get("kind") == "COMMITTED"
+        for r in cluster.trace.records
+    ):
+        cluster.sim.step()
+    cluster.crash_server("mds1")
+    cluster.restart_server("mds1")
+    cluster.sim.run(until=cluster.sim.now + 150.0)
+    assert cluster.check_invariants() == []
+    dentry, inode = atomicity_state(cluster)
+    assert dentry and inode, "worker committed => transaction must commit"
+
+
+def test_1pc_aborts_when_worker_never_committed():
+    """Crash the 1PC worker before its commit write: the coordinator
+    fences it, reads an empty log and aborts."""
+    cluster, client = make_cluster("1PC")
+    client.submit(client.plan_create("/dir1/f0"))
+    # Crash the worker the moment it receives the UPDATE_REQ (before
+    # its forced commit completes).
+    while not any(
+        r.category == "msg_recv" and r.actor == "mds2" and r.get("kind") == "UPDATE_REQ"
+        for r in cluster.trace.records
+    ):
+        cluster.sim.step()
+    cluster.crash_server("mds2")
+    cluster.sim.run(until=cluster.sim.now + 150.0)
+    assert cluster.check_invariants() == []
+    dentry, inode = atomicity_state(cluster)
+    assert not dentry and not inode
+    # The coordinator reported an abort to the client.
+    aborted = [o for o in cluster.outcomes if not o.committed]
+    assert len(aborted) == 1
+    # And it went through the fencing + shared-log probe.
+    assert cluster.trace.count("worker_probe") == 1
+    assert cluster.trace.count("fence") >= 1
+
+
+def test_1pc_stonith_probe_commits_when_log_says_committed():
+    """Partition (not crash) after the worker committed: the coordinator
+    cannot tell the difference, fences via STONITH, reads COMMITTED in
+    the worker's log, and commits."""
+    cluster, client = make_cluster("1PC")
+    client.submit(client.plan_create("/dir1/f0"))
+    while not any(
+        r.category == "log_durable"
+        and r.actor == "mds2"
+        and r.get("kind") == "COMMITTED"
+        for r in cluster.trace.records
+    ):
+        cluster.sim.step()
+    # Sever the link before the UPDATED message can arrive.
+    cluster.partition({"mds1"}, {"mds2"})
+    cluster.sim.run(until=cluster.sim.now + 5.0)
+    cluster.heal_partition()
+    cluster.sim.run(until=cluster.sim.now + 150.0)
+    assert cluster.check_invariants() == []
+    dentry, inode = atomicity_state(cluster)
+    assert dentry and inode
+    probes = cluster.trace.select("worker_probe")
+    assert len(probes) == 1 and probes[0].get("committed") is True
+
+
+def test_2pc_worker_recovery_asks_coordinator(twopc_protocol):
+    """Crash a prepared worker: on reboot it must query the coordinator
+    (DECISION_REQ) and then commit."""
+    cluster, client = make_cluster(twopc_protocol)
+    client.submit(client.plan_create("/dir1/f0"))
+    # Run until the worker's PREPARED record is durable.
+    while not any(
+        r.category == "log_durable"
+        and r.actor == "mds2"
+        and r.get("kind") == "PREPARED"
+        for r in cluster.trace.records
+    ):
+        cluster.sim.step()
+    cluster.crash_server("mds2")
+    cluster.restart_server("mds2")
+    cluster.sim.run(until=cluster.sim.now + 150.0)
+    assert cluster.check_invariants() == []
+    dentry, inode = atomicity_state(cluster)
+    assert dentry == inode
+
+
+def test_coordinator_crash_before_prepare_aborts(twopc_protocol):
+    """§II-C: a coordinator that finds only STARTED in its log must
+    abort the transaction on reboot."""
+    cluster, client = make_cluster(twopc_protocol)
+    client.submit(client.plan_create("/dir1/f0"))
+    # Crash right after STARTED is durable, before anything else.
+    while not any(
+        r.category == "log_durable"
+        and r.actor == "mds1"
+        and r.get("kind") == "STARTED"
+        for r in cluster.trace.records
+    ):
+        cluster.sim.step()
+    cluster.crash_server("mds1")
+    cluster.restart_server("mds1")
+    cluster.sim.run(until=cluster.sim.now + 150.0)
+    assert cluster.check_invariants() == []
+    dentry, inode = atomicity_state(cluster)
+    assert not dentry and not inode
+    recoveries = cluster.trace.select("recovery", actor="mds1")
+    assert any(r.get("action") == "abort" for r in recoveries)
+
+
+def test_recovery_preserves_previous_transactions(protocol):
+    """A crash must not damage transactions that committed earlier."""
+    cluster, client = make_cluster(protocol)
+    done = cluster.sim.process(client.create("/dir1/old"), name="old")
+    cluster.sim.run(until=done)
+    drain(cluster, budget=30.0)
+    client.submit(client.plan_create("/dir1/new"))
+    cluster.sim.run(until=cluster.sim.now + 1e-3)
+    cluster.crash_server("mds1")
+    cluster.restart_server("mds1")
+    cluster.sim.run(until=cluster.sim.now + 150.0)
+    assert cluster.check_invariants() == []
+    assert cluster.store_of("mds1").stable_directories["/dir1"].get("old") is not None
+
+
+def test_server_buffers_client_requests_during_recovery(protocol):
+    """§III-D ordering: new client requests wait until reboot-time
+    recovery has drained."""
+    cluster, client = make_cluster(protocol)
+    client.submit(client.plan_create("/dir1/a"))
+    cluster.sim.run(until=1e-3)
+    cluster.crash_server("mds1")
+    cluster.restart_server("mds1")
+    # Submit immediately after the reboot delay; it should be served
+    # after recovery completes.
+    cluster.sim.run(until=cluster.sim.now + cluster.params.failure.reboot_delay + 1e-3)
+    client.submit(client.plan_create("/dir1/b"))
+    cluster.sim.run(until=cluster.sim.now + 150.0)
+    assert cluster.check_invariants() == []
+    assert cluster.store_of("mds1").stable_directories["/dir1"].get("b") is not None
+
+
+def test_double_crash_both_nodes(protocol):
+    """Crash both servers mid-transaction; both recover; state is
+    consistent."""
+    cluster, client = make_cluster(protocol)
+    client.submit(client.plan_create("/dir1/f0"))
+    cluster.sim.run(until=2e-3)
+    cluster.crash_server("mds1")
+    cluster.crash_server("mds2")
+    cluster.restart_server("mds2", after=0.05)
+    cluster.restart_server("mds1", after=0.1)
+    cluster.sim.run(until=cluster.sim.now + 200.0)
+    assert cluster.check_invariants() == []
+    dentry, inode = atomicity_state(cluster)
+    assert dentry == inode

@@ -1,0 +1,221 @@
+"""Failure-free behaviour of all four protocols."""
+
+import pytest
+
+from repro.fs import ObjectId
+from repro.storage.records import RecordKind
+from tests.protocols.conftest import drain, make_cluster, run_create
+
+
+def test_distributed_create_commits(protocol):
+    cluster, client = make_cluster(protocol)
+    result = run_create(cluster, client)
+    assert result["committed"] is True
+    drain(cluster)
+    assert cluster.check_invariants() == []
+    assert cluster.lookup("/dir1/f0") is not None
+
+
+def test_create_visible_on_both_servers(protocol):
+    cluster, client = make_cluster(protocol)
+    run_create(cluster, client)
+    drain(cluster)
+    ino = cluster.lookup("/dir1/f0")
+    # Dentry at the coordinator, inode at the worker.
+    assert cluster.store_of("mds1").lookup("/dir1", "f0") == ino
+    assert cluster.store_of("mds2").inode(ino) is not None
+
+
+def test_delete_roundtrip(protocol):
+    cluster, client = make_cluster(protocol)
+    run_create(cluster, client)
+    done = cluster.sim.process(client.delete("/dir1/f0"), name="d")
+    cluster.sim.run(until=done)
+    assert done.value["committed"] is True
+    drain(cluster)
+    assert cluster.check_invariants() == []
+    assert cluster.lookup("/dir1/f0") is None
+    # The inode is gone from the worker too.
+    assert cluster.store_of("mds2").stable_inodes == {}
+
+
+def test_sequential_creates_all_commit(protocol):
+    cluster, client = make_cluster(protocol)
+
+    def scenario(sim):
+        results = []
+        for i in range(5):
+            r = yield from client.create(f"/dir1/s{i}")
+            results.append(r["committed"])
+        return results
+
+    p = cluster.sim.process(scenario(cluster.sim))
+    cluster.sim.run(until=p)
+    assert p.value == [True] * 5
+    drain(cluster)
+    assert cluster.check_invariants() == []
+    assert len(cluster.listdir("/dir1")) == 5
+
+
+def test_concurrent_creates_serialize_on_directory(protocol):
+    cluster, client = make_cluster(protocol)
+    n = 10
+    for i in range(n):
+        client.submit(client.plan_create(f"/dir1/c{i}"))
+    while len(cluster.outcomes) < n:
+        cluster.sim.step()
+    assert all(o.committed for o in cluster.outcomes)
+    drain(cluster)
+    assert cluster.check_invariants() == []
+    assert len(cluster.listdir("/dir1")) == n
+    # The directory lock forces distinct commit instants.
+    replies = sorted(o.replied_at for o in cluster.outcomes)
+    assert len(set(replies)) == n
+
+
+def test_logs_are_garbage_collected(protocol):
+    cluster, client = make_cluster(protocol)
+    run_create(cluster, client)
+    drain(cluster)
+    assert cluster.storage.log_of("mds1").durable_records == ()
+    assert cluster.storage.log_of("mds2").durable_records == ()
+
+
+def test_duplicate_create_aborts_with_eexist(protocol):
+    cluster, client = make_cluster(protocol)
+    run_create(cluster, client)
+
+    def second(sim):
+        result = yield from client.run(client.plan_create("/dir1/f0"))
+        return result
+
+    p = cluster.sim.process(second(cluster.sim))
+    cluster.sim.run(until=p)
+    assert p.value["committed"] is False
+    assert "exists" in p.value["reason"]
+    drain(cluster)
+    assert cluster.check_invariants() == []
+
+
+def test_local_operation_needs_no_worker(protocol):
+    # Same-server placement: the operation is not distributed.
+    from repro import Cluster
+
+    cluster = Cluster(protocol=protocol, server_names=["mds1", "mds2"])
+    cluster.mkdir("/local", owner="mds1")
+    # Pin inodes to mds1 as well.
+    cluster.placement.pin(ObjectId.inode(1000), "mds1")
+    client = cluster.new_client()
+    plan = client.plan_create("/local/x")
+    if plan.is_distributed:
+        pytest.skip("hash placement made this distributed")
+    done = cluster.sim.process(client.run(plan), name="local")
+    cluster.sim.run(until=done)
+    assert done.value["committed"] is True
+
+
+def test_local_operation_uses_fast_path(protocol):
+    """Single-MDS operations bypass the commit protocol entirely: one
+    forced UPDATES+COMMITTED write, no protocol messages."""
+    from repro import Cluster
+    from repro.fs import SubtreePlacement
+
+    placement = SubtreePlacement(["mds1", "mds2"], {"/": "mds1", "/local": "mds2"})
+    cluster = Cluster(protocol=protocol, server_names=["mds1", "mds2"], placement=placement)
+    cluster.mkdir("/local")
+    client = cluster.new_client()
+    plan = client.plan_create("/local/x")
+    assert not plan.is_distributed
+    done = cluster.sim.process(client.run(plan), name="local")
+    cluster.sim.run(until=done)
+    assert done.value["committed"] is True
+    drain(cluster)
+    assert cluster.check_invariants() == []
+    # No protocol traffic at all (client request/reply only).
+    assert cluster.trace.count("msg_send", kind="UPDATE_REQ") == 0
+    assert cluster.trace.count("msg_send", kind="PREPARE") == 0
+    # Exactly one forced log write.
+    forces = {
+        (r.actor, r.time)
+        for r in cluster.trace.select("log_append")
+        if r.get("sync")
+    }
+    assert len(forces) == 1
+
+
+def test_local_operation_conflict_aborts(protocol):
+    from repro import Cluster
+    from repro.fs import SubtreePlacement
+
+    placement = SubtreePlacement(["mds1", "mds2"], {"/": "mds1", "/local": "mds2"})
+    cluster = Cluster(protocol=protocol, server_names=["mds1", "mds2"], placement=placement)
+    cluster.mkdir("/local")
+    client = cluster.new_client()
+
+    def scenario(sim):
+        r1 = yield from client.run(client.plan_create("/local/x"))
+        r2 = yield from client.run(client.plan_create("/local/x"))
+        return r1["committed"], r2["committed"]
+
+    p = cluster.sim.process(scenario(cluster.sim))
+    cluster.sim.run(until=p)
+    assert p.value == (True, False)
+    drain(cluster)
+    assert cluster.check_invariants() == []
+
+
+def test_local_operation_crash_recovery(protocol):
+    """A local transaction's durability follows its single forced
+    write: crash before it -> nothing; after it -> recovered."""
+    from repro import Cluster
+    from repro.fs import SubtreePlacement
+
+    placement = SubtreePlacement(["mds1", "mds2"], {"/": "mds1", "/local": "mds2"})
+    cluster = Cluster(protocol=protocol, server_names=["mds1", "mds2"], placement=placement)
+    cluster.mkdir("/local")
+    client = cluster.new_client()
+    client.submit(client.plan_create("/local/x"))
+    cluster.sim.run(until=1e-3)  # mid-write
+    cluster.crash_server("mds2")
+    cluster.restart_server("mds2")
+    cluster.sim.run(until=cluster.sim.now + 200.0)
+    assert cluster.check_invariants() == []
+    store = cluster.store_of("mds2")
+    dentry = store.stable_directories.get("/local", {}).get("x")
+    inodes = store.stable_inodes
+    assert (dentry is not None) == (len(inodes) > 0)
+
+
+def test_worker_commit_record_written(protocol):
+    cluster, client = make_cluster(protocol)
+    run_create(cluster, client)
+    drain(cluster)
+    committed = cluster.trace.select("log_append", actor="mds2", kind=str(RecordKind.COMMITTED))
+    assert len(committed) == 1
+    # 1PC and the presume-commit family differ in whether it is forced.
+    expected_sync = protocol in ("PrN", "1PC")
+    assert committed[0].get("sync") is expected_sync
+
+
+def test_client_latency_ordering_between_protocols():
+    """1PC must deliver the lowest single-op client latency, PrN the
+    highest (it waits for the ACK before replying)."""
+    latencies = {}
+    for protocol in ("PrN", "PrC", "EP", "1PC"):
+        cluster, client = make_cluster(protocol)
+        run_create(cluster, client)
+        drain(cluster)
+        latencies[protocol] = cluster.outcomes[0].client_latency
+    assert latencies["1PC"] < latencies["EP"]
+    assert latencies["EP"] < latencies["PrC"]
+    assert latencies["PrC"] < latencies["PrN"]
+
+
+def test_deterministic_trace_across_runs(protocol):
+    def run_once():
+        cluster, client = make_cluster(protocol)
+        run_create(cluster, client)
+        drain(cluster)
+        return [(r.time, r.category, r.actor) for r in cluster.trace.records]
+
+    assert run_once() == run_once()

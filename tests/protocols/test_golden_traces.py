@@ -1,0 +1,47 @@
+"""Golden-trace regression tests.
+
+A full trace of one distributed CREATE is stored per protocol under
+``tests/golden/``.  Any change to protocol behaviour — an extra
+message, a reordered write, a shifted timestamp — shows up as a trace
+diff.  Regenerate deliberately with::
+
+    python - <<'EOF'
+    from repro.analysis.traceio import dump_trace
+    from tests.protocols.conftest import make_cluster, run_create, drain
+    for proto in ("PrN", "1PC"):
+        cluster, client = make_cluster(proto)
+        run_create(cluster, client)
+        drain(cluster)
+        dump_trace(cluster.trace, f"tests/golden/{proto.lower()}_create.jsonl")
+    EOF
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.traceio import trace_to_string
+from tests.protocols.conftest import drain, make_cluster, run_create
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+@pytest.mark.parametrize("protocol", ["PrN", "1PC"])
+def test_trace_matches_golden(protocol):
+    cluster, client = make_cluster(protocol)
+    run_create(cluster, client)
+    drain(cluster)
+    current = trace_to_string(cluster.trace)
+    golden = (GOLDEN_DIR / f"{protocol.lower()}_create.jsonl").read_text()
+    assert current == golden, (
+        f"{protocol} trace diverged from the golden trace — if the "
+        "change is intentional, regenerate tests/golden/ (see module "
+        "docstring)"
+    )
+
+
+def test_golden_traces_exist_and_are_nontrivial():
+    for name in ("prn_create.jsonl", "1pc_create.jsonl"):
+        path = GOLDEN_DIR / name
+        assert path.exists()
+        assert len(path.read_text().splitlines()) > 20

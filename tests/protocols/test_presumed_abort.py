@@ -1,0 +1,92 @@
+"""The Presumed Abort extension protocol."""
+
+import pytest
+
+from repro.analysis.costs import CostRow, measure_protocol_costs
+from repro.storage.records import RecordKind
+from tests.protocols.conftest import drain, make_cluster, run_create
+
+
+def test_pra_commit_path_works():
+    cluster, client = make_cluster("PrA")
+    result = run_create(cluster, client)
+    assert result["committed"] is True
+    drain(cluster)
+    assert cluster.check_invariants() == []
+    assert cluster.lookup("/dir1/f0") is not None
+
+
+def test_pra_commit_costs_match_prn():
+    """PrA streamlines aborts only; its commit path costs exactly PrN."""
+    assert measure_protocol_costs("PrA").row == CostRow(5, 1, 4, 1, 4, 4)
+
+
+def test_pra_abort_is_cheap():
+    """A PrA abort writes nothing to the coordinator's log."""
+    cluster, client = make_cluster("PrA")
+    cluster.servers["mds2"].fail_next_vote = True
+    result = run_create(cluster, client)
+    assert result["committed"] is False
+    drain(cluster)
+    assert cluster.check_invariants() == []
+    # No forced ABORTED record anywhere.
+    assert cluster.trace.count("log_append", kind=str(RecordKind.ABORTED)) == 0
+    # Logs fully clean.
+    assert cluster.storage.log_of("mds1").durable_records == ()
+    assert cluster.storage.log_of("mds2").durable_records == ()
+
+
+def test_pra_prepared_worker_presumes_abort_after_coordinator_crash():
+    """The defining recovery rule: a prepared worker asking a
+    coordinator with no log entry must be told ABORT."""
+    cluster, client = make_cluster("PrA")
+    client.submit(client.plan_create("/dir1/f0"))
+    # Run until the worker's PREPARED record is durable.
+    while not any(
+        r.category == "log_durable" and r.actor == "mds2" and r.get("kind") == "PREPARED"
+        for r in cluster.trace.records
+    ):
+        cluster.sim.step()
+    cluster.crash_server("mds1")
+    cluster.restart_server("mds1")
+    cluster.sim.run(until=cluster.sim.now + 200.0)
+    assert cluster.check_invariants() == []
+    # Nothing committed anywhere.
+    assert cluster.store_of("mds1").stable_directories["/dir1"] == {}
+    assert cluster.store_of("mds2").stable_inodes == {}
+
+
+def test_pra_abort_rate_advantage_over_prc():
+    """With heavy aborts PrA outperforms PrC (whose aborts degrade to
+    full PrN); with no aborts PrC is at least as good."""
+    from repro.harness.sweeps import _burst_with_aborts
+
+    heavy_pra = _burst_with_aborts("PrA", n=30, rate=0.34, params=None)
+    heavy_prc = _burst_with_aborts("PrC", n=30, rate=0.34, params=None)
+    assert heavy_pra > heavy_prc
+    clean_pra = _burst_with_aborts("PrA", n=30, rate=0.0, params=None)
+    clean_prc = _burst_with_aborts("PrC", n=30, rate=0.0, params=None)
+    assert clean_prc >= clean_pra * 0.98
+
+
+@pytest.mark.parametrize("crash_at", [1e-3, 3e-3, 5e-3, 8e-3])
+@pytest.mark.parametrize("victim", ["mds1", "mds2"])
+def test_pra_crash_atomicity(victim, crash_at):
+    cluster, client = make_cluster("PrA")
+    client.submit(client.plan_create("/dir1/f0"))
+    cluster.sim.run(until=crash_at)
+    cluster.crash_server(victim)
+    cluster.restart_server(victim)
+    cluster.sim.run(until=cluster.sim.now + 200.0)
+    assert cluster.check_invariants() == []
+    dentry = cluster.store_of("mds1").stable_directories.get("/dir1", {}).get("f0")
+    inodes = cluster.store_of("mds2").stable_inodes
+    assert (dentry is not None) == (len(inodes) > 0)
+
+
+def test_pra_torture():
+    from tests.faults.test_torture import assert_all_or_nothing, run_torture
+
+    for seed in range(4):
+        cluster = run_torture("PrA", seed)
+        assert_all_or_nothing(cluster)

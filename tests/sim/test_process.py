@@ -1,0 +1,252 @@
+"""Unit tests for processes: lifecycle, interrupts, kill, waiting."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+from repro.sim.errors import SimulationError
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return "result"
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.ok and p.value == "result"
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+    order = []
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        order.append("child")
+        return 7
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        order.append(("parent", value, sim.now))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert order == ["child", ("parent", 7, 2.0)]
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("oops")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except KeyError:
+            return "handled"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_unhandled_process_exception_surfaces_in_run():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    sim.process(proc(sim))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            log.append((sim.now, i.cause))
+
+    def interrupter(sim, target):
+        yield sim.timeout(1.0)
+        target.interrupt("crash")
+
+    target = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, target))
+    sim.run()
+    assert log == [(1.0, "crash")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.5)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    p.interrupt("too late")  # must not raise
+
+
+def test_process_cannot_interrupt_itself():
+    sim = Simulator()
+
+    def selfish(sim):
+        # Yield once so that self-reference is available.
+        yield sim.timeout(0.0)
+
+    p = sim.process(selfish(sim))
+
+    def meta(sim):
+        yield sim.timeout(0.0)
+
+    # Build a process that tries to interrupt itself.
+    holder = {}
+
+    def suicidal(sim):
+        yield sim.timeout(0.1)
+        holder["proc"].interrupt()
+        yield sim.timeout(1.0)
+
+    holder["proc"] = sim.process(suicidal(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_interrupted_process_original_event_still_fires():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        t = sim.timeout(5.0)
+        try:
+            yield t
+        except Interrupt:
+            log.append("interrupted")
+        yield sim.timeout(10.0)
+        log.append(sim.now)
+
+    target = sim.process(sleeper(sim))
+
+    def interrupter(sim):
+        yield sim.timeout(1.0)
+        target.interrupt()
+
+    sim.process(interrupter(sim))
+    sim.run()
+    assert log == ["interrupted", 11.0]
+
+
+def test_kill_terminates_without_resume():
+    sim = Simulator()
+    log = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(10.0)
+            log.append("survived")
+        finally:
+            log.append("cleanup")
+
+    p = sim.process(victim(sim))
+
+    def killer(sim):
+        yield sim.timeout(1.0)
+        p.kill()
+
+    sim.process(killer(sim))
+    sim.run()
+    assert log == ["cleanup"]
+    assert p.ok and p.value is None
+
+
+def test_kill_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.1)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    p.kill()
+
+
+def test_kill_before_first_resume_is_safe():
+    """Killing a process whose kick-start event has not fired yet must
+    not poison the schedule (regression: crash injection at t=0)."""
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc(sim))
+    p.kill()  # the init event is still queued
+    sim.run()
+    assert not p.is_alive and p.ok
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yielding_foreign_event_fails_process():
+    sim1, sim2 = Simulator(), Simulator()
+
+    def bad(sim, foreign):
+        yield foreign
+
+    sim1.process(bad(sim1, sim2.event()))
+    with pytest.raises(SimulationError):
+        sim1.run()
+
+
+def test_is_alive_and_target():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(3.0)
+
+    p = sim.process(proc(sim))
+    assert p.is_alive
+    sim.run(until=1.0)
+    assert p.is_alive
+    assert p.target is not None
+    sim.run()
+    assert not p.is_alive
+    assert p.target is None
+
+
+def test_many_processes_complete():
+    sim = Simulator()
+    done = []
+
+    def proc(sim, i):
+        yield sim.timeout(float(i % 7) / 10.0)
+        done.append(i)
+
+    for i in range(200):
+        sim.process(proc(sim, i))
+    sim.run()
+    assert sorted(done) == list(range(200))

@@ -1,0 +1,126 @@
+"""Unit tests for RNG streams, trace log and monitors."""
+
+import pytest
+
+from repro.sim import Monitor, RngRegistry, Simulator, TraceLog
+
+
+def test_rng_same_seed_same_draws():
+    a = RngRegistry(42).stream("net")
+    b = RngRegistry(42).stream("net")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_rng_streams_independent():
+    reg = RngRegistry(42)
+    net_first = reg.stream("net").random()
+    # Drawing from another stream must not perturb "net".
+    reg2 = RngRegistry(42)
+    reg2.stream("disk").random()
+    assert reg2.stream("net").random() == net_first
+
+
+def test_rng_different_seeds_differ():
+    a = RngRegistry(1).stream("s").random()
+    b = RngRegistry(2).stream("s").random()
+    assert a != b
+
+
+def test_rng_spawn_derives_child():
+    reg = RngRegistry(7)
+    child1 = reg.spawn("node1")
+    child2 = reg.spawn("node2")
+    assert child1.root_seed != child2.root_seed
+    assert RngRegistry(7).spawn("node1").root_seed == child1.root_seed
+
+
+def test_rng_exponential_positive_and_validated():
+    reg = RngRegistry(0)
+    assert reg.exponential("e", 1.0) > 0
+    with pytest.raises(ValueError):
+        reg.exponential("e", 0.0)
+
+
+def test_rng_bernoulli_validated():
+    reg = RngRegistry(0)
+    with pytest.raises(ValueError):
+        reg.bernoulli("b", 1.5)
+    assert reg.bernoulli("always", 1.0) is True
+    assert reg.bernoulli("never", 0.0) is False
+
+
+def test_rng_integers_in_range():
+    reg = RngRegistry(3)
+    for _ in range(50):
+        v = reg.integers("i", 2, 4)
+        assert 2 <= v <= 4
+
+
+def test_rng_shuffled_is_permutation():
+    reg = RngRegistry(5)
+    out = reg.shuffled("s", range(10))
+    assert sorted(out) == list(range(10))
+
+
+def test_tracelog_emit_and_select():
+    sim = Simulator()
+    trace = TraceLog(sim)
+    trace.emit("msg", "mds1", kind="PREPARE", txn=1)
+    trace.emit("msg", "mds2", kind="PREPARED", txn=1)
+    trace.emit("log_write", "mds1", sync=True)
+    assert len(trace) == 3
+    assert trace.count("msg") == 2
+    assert trace.count("msg", kind="PREPARE") == 1
+    assert [r.actor for r in trace.select("log_write")] == ["mds1"]
+
+
+def test_tracelog_records_simulation_time():
+    sim = Simulator()
+    trace = TraceLog(sim)
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        trace.emit("tick", "p")
+
+    sim.process(proc(sim))
+    sim.run()
+    assert trace.records[0].time == 2.0
+
+
+def test_tracelog_disabled_records_nothing():
+    sim = Simulator()
+    trace = TraceLog(sim, enabled=False)
+    trace.emit("msg", "a")
+    assert len(trace) == 0
+
+
+def test_tracelog_predicate_select():
+    sim = Simulator()
+    trace = TraceLog(sim)
+    for i in range(5):
+        trace.emit("msg", "a", seq=i)
+    assert len(trace.select(predicate=lambda r: r.get("seq", 0) >= 3)) == 2
+
+
+def test_monitor_statistics():
+    mon = Monitor("queue")
+    for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]:
+        mon.observe(t, v)
+    assert mon.mean == 2.0
+    assert mon.maximum == 3.0
+    assert mon.minimum == 1.0
+    assert len(mon) == 3
+
+
+def test_monitor_empty_raises():
+    mon = Monitor()
+    with pytest.raises(ValueError):
+        _ = mon.mean
+
+
+def test_monitor_time_weighted_mean():
+    mon = Monitor()
+    mon.observe(0.0, 0.0)
+    mon.observe(1.0, 10.0)
+    # 0 for 1s, 10 for 1s -> 5 average over [0, 2].
+    assert mon.time_weighted_mean(2.0) == 5.0

@@ -1,0 +1,87 @@
+"""CLI smoke tests (run in-process via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_cli_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_table1_paper_only(capsys):
+    code, out = run_cli(capsys, "table1", "--paper-only")
+    assert code == 0
+    assert "Table I" in out and "1PC" in out
+
+
+def test_cli_table1_measured(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "[(3, 1)]" in out  # measured 1PC totals
+
+
+def test_cli_figure6_small(capsys):
+    code, out = run_cli(capsys, "figure6", "--n", "20")
+    assert code == 0
+    assert "Figure 6" in out and "vs PrN" in out
+
+
+def test_cli_timeline_single(capsys):
+    code, out = run_cli(capsys, "timeline", "--protocol", "1PC")
+    assert code == 0
+    assert "Figure 5" in out
+
+
+def test_cli_timeline_all(capsys):
+    code, out = run_cli(capsys, "timeline")
+    assert code == 0
+    for fig in (2, 3, 4, 5):
+        assert f"Figure {fig}" in out
+
+
+def test_cli_model(capsys):
+    code, out = run_cli(capsys, "model")
+    assert code == 0
+    assert "Analytical model" in out and "Lock hold" in out
+
+
+def test_cli_burst(capsys):
+    code, out = run_cli(capsys, "burst", "--protocol", "EP", "--n", "10")
+    assert code == 0
+    assert "EP" in out and "invariants: OK" in out
+
+
+def test_cli_burst_delete(capsys):
+    code, out = run_cli(capsys, "burst", "--n", "5", "--op", "delete")
+    assert code == 0
+
+
+def test_cli_sweep_burst(capsys):
+    code, out = run_cli(capsys, "sweep", "--kind", "burst")
+    assert code == 0
+    assert "burst size" in out
+
+
+def test_cli_recovery(capsys):
+    code, out = run_cli(capsys, "recovery")
+    assert code == 0
+    assert "Recovery" in out
+
+
+def test_cli_batching(capsys):
+    code, out = run_cli(capsys, "batching", "--n", "32")
+    assert code == 0
+    assert "aggregation" in out
+
+
+def test_cli_rejects_unknown_protocol(capsys):
+    with pytest.raises(SystemExit):
+        main(["burst", "--protocol", "3PC"])

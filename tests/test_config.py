@@ -1,0 +1,74 @@
+"""Unit tests for simulation parameter dataclasses."""
+
+import pytest
+
+from repro.config import (
+    KB,
+    ComputeParams,
+    FailureParams,
+    NetworkParams,
+    SimulationParams,
+    StorageParams,
+)
+
+
+def test_paper_defaults_match_section_iv():
+    p = SimulationParams.paper_defaults()
+    assert p.compute.read_latency == pytest.approx(1e-6)
+    assert p.compute.write_latency == pytest.approx(1e-6)
+    assert p.network.latency == pytest.approx(100e-6)
+    assert p.storage.bandwidth == pytest.approx(400 * KB)
+
+
+def test_storage_write_latency_from_bandwidth():
+    s = StorageParams(bandwidth=400 * KB)
+    assert s.write_latency(400 * KB) == pytest.approx(1.0)
+    assert s.write_latency(0) == 0.0
+
+
+def test_storage_op_overhead_added():
+    s = StorageParams(bandwidth=1024, op_overhead=0.5)
+    assert s.write_latency(1024) == pytest.approx(1.5)
+    assert s.read_latency(0) == pytest.approx(0.5)
+
+
+def test_storage_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        StorageParams(bandwidth=0)
+    with pytest.raises(ValueError):
+        StorageParams(update_record_size=-1)
+
+
+def test_network_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        NetworkParams(latency=-1)
+
+
+def test_compute_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        ComputeParams(read_latency=-1)
+
+
+def test_failure_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        FailureParams(heartbeat_interval=0)
+    with pytest.raises(ValueError):
+        FailureParams(heartbeat_misses=0)
+    with pytest.raises(ValueError):
+        FailureParams(reboot_delay=-1)
+
+
+def test_with_replaces_fields():
+    base = SimulationParams.paper_defaults()
+    tweaked = base.with_(network=NetworkParams(latency=1e-3), seed=99)
+    assert tweaked.network.latency == 1e-3
+    assert tweaked.seed == 99
+    # Original unchanged (frozen dataclass semantics).
+    assert base.network.latency == pytest.approx(100e-6)
+    assert base.seed == 0
+
+
+def test_params_are_frozen():
+    p = SimulationParams.paper_defaults()
+    with pytest.raises(Exception):
+        p.seed = 5  # type: ignore[misc]

@@ -1,0 +1,80 @@
+"""Workload generators: burst, delete-burst, mixed, mdtest phases."""
+
+import pytest
+
+from repro.workloads import MixedWorkload, run_burst, run_mdtest_phases, run_mixed
+
+
+def test_burst_create_all_commit():
+    result = run_burst("1PC", n=20)
+    assert result.committed == 20 and result.aborted == 0
+    assert result.throughput > 0
+    assert result.makespan > 0
+    assert result.cluster.check_invariants() == []
+    assert result.latency.count == 20
+
+
+def test_burst_invalid_op_rejected():
+    with pytest.raises(ValueError):
+        run_burst("1PC", n=1, op="stat")
+
+
+def test_burst_delete_measures_delete_phase():
+    result = run_burst("1PC", n=10, op="delete")
+    assert result.committed == 10
+    # Everything deleted.
+    assert result.cluster.listdir("/dir1") == {}
+    assert result.cluster.check_invariants() == []
+
+
+def test_burst_throughput_ordering_matches_figure6():
+    """Even at a small burst the protocol ordering must hold."""
+    tputs = {p: run_burst(p, n=30).throughput for p in ("PrN", "PrC", "EP", "1PC")}
+    assert tputs["1PC"] > tputs["EP"] > tputs["PrC"] >= tputs["PrN"] * 0.999
+
+
+def test_burst_latency_stats_sane():
+    result = run_burst("PrN", n=15)
+    stats = result.latency
+    assert stats.minimum <= stats.p50 <= stats.p95 <= stats.maximum
+    # Queueing behind the directory lock stretches the tail.
+    assert stats.maximum > stats.minimum * 3
+
+
+def test_mixed_workload_runs_clean():
+    wl = MixedWorkload(n_ops=60, seed=3)
+    result = run_mixed("1PC", wl)
+    assert result.committed + result.aborted == 60
+    # The vast majority commit (aborts only from benign plan races).
+    assert result.committed >= 50
+    assert result.cluster.check_invariants() == []
+
+
+def test_mixed_workload_deterministic():
+    wl = MixedWorkload(n_ops=40, seed=9)
+    a = run_mixed("1PC", wl)
+    b = run_mixed("1PC", wl)
+    assert a.throughput == b.throughput
+    assert a.committed == b.committed
+
+
+def test_mixed_workload_validation():
+    with pytest.raises(ValueError):
+        MixedWorkload(n_ops=0)
+    with pytest.raises(ValueError):
+        MixedWorkload(create_weight=0, delete_weight=0, rename_weight=0)
+    with pytest.raises(ValueError):
+        MixedWorkload(mean_interarrival=0)
+
+
+def test_mixed_all_protocols_consistent():
+    wl = MixedWorkload(n_ops=40, seed=5)
+    for protocol in ("PrN", "PrC", "EP", "1PC"):
+        result = run_mixed(protocol, wl)
+        assert result.cluster.check_invariants() == [], protocol
+
+
+def test_mdtest_phases_create_then_delete():
+    phases = run_mdtest_phases("1PC", n_files=12)
+    assert set(phases) == {"create", "delete"}
+    assert phases["create"] > 0 and phases["delete"] > 0

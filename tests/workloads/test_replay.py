@@ -1,0 +1,107 @@
+"""Trace-replay workload tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.workloads.replay import (
+    load_ops,
+    run_replay,
+    save_ops,
+    synthetic_checkpoint_trace,
+    validate_ops,
+)
+
+SIMPLE = [
+    {"t": 0.0, "op": "mkdir", "path": "/dir1/run"},
+    {"t": 0.001, "op": "create", "path": "/dir1/run/a"},
+    {"t": 0.002, "op": "create", "path": "/dir1/run/b"},
+    {"t": 0.003, "op": "rename", "path": "/dir1/run/a", "dst": "/dir1/run/a2"},
+    {"t": 0.004, "op": "delete", "path": "/dir1/run/b"},
+]
+
+
+def test_validate_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        validate_ops([{"t": 0, "op": "chmod", "path": "/x"}])
+
+
+def test_validate_rejects_missing_path():
+    with pytest.raises(ValueError):
+        validate_ops([{"t": 0, "op": "create"}])
+
+
+def test_validate_rejects_time_travel():
+    with pytest.raises(ValueError):
+        validate_ops(
+            [
+                {"t": 1.0, "op": "create", "path": "/a"},
+                {"t": 0.5, "op": "create", "path": "/b"},
+            ]
+        )
+
+
+def test_validate_rename_requires_dst():
+    with pytest.raises(ValueError):
+        validate_ops([{"t": 0, "op": "rename", "path": "/a"}])
+
+
+def test_save_load_roundtrip():
+    buffer = io.StringIO()
+    save_ops(SIMPLE, buffer)
+    buffer.seek(0)
+    assert load_ops(buffer) == SIMPLE
+
+
+def test_save_load_file_roundtrip(tmp_path):
+    path = tmp_path / "ops.json"
+    save_ops(SIMPLE, path)
+    assert load_ops(path) == SIMPLE
+    assert json.loads(path.read_text())  # plain JSON on disk
+
+
+def test_closed_loop_replay_preserves_dependencies(protocol):
+    result = run_replay(protocol, SIMPLE, closed_loop=True)
+    assert result.committed == len(SIMPLE)
+    cluster = result.cluster
+    assert cluster.check_invariants() == []
+    assert cluster.lookup("/dir1/run/a2") is not None
+    assert cluster.lookup("/dir1/run/a") is None
+    assert cluster.lookup("/dir1/run/b") is None
+
+
+def test_open_loop_replay_of_independent_ops():
+    ops = [
+        {"t": 0.0, "op": "create", "path": f"/dir1/f{i}"} for i in range(10)
+    ]
+    result = run_replay("1PC", ops)
+    assert result.committed == 10
+    assert result.cluster.check_invariants() == []
+
+
+def test_replay_skips_unplannable_ops():
+    ops = [
+        {"t": 0.0, "op": "delete", "path": "/dir1/never-existed"},
+        {"t": 0.001, "op": "create", "path": "/dir1/real"},
+    ]
+    result = run_replay("1PC", ops, closed_loop=True)
+    assert result.committed == 1
+    assert result.cluster.lookup("/dir1/real") is not None
+
+
+def test_synthetic_checkpoint_trace_valid_and_runs():
+    ops = synthetic_checkpoint_trace(ranks=4, period=0.02, rounds=2)
+    validate_ops(ops)
+    result = run_replay("1PC", ops, closed_loop=True)
+    assert result.cluster.check_invariants() == []
+    # Round 1's checkpoints were deleted; round 2's survive.
+    listing = result.cluster.listdir("/dir1/ckpt")
+    assert set(listing) == {f"rank{r}.r1" for r in range(4)}
+
+
+def test_replay_throughput_ordering_between_protocols():
+    ops = synthetic_checkpoint_trace(ranks=6, period=0.01, rounds=2)
+    prn = run_replay("PrN", ops, closed_loop=True)
+    one = run_replay("1PC", ops, closed_loop=True)
+    assert one.makespan < prn.makespan
