@@ -6,7 +6,6 @@ CREATE crashes.  1PC trades a fencing delay for never blocking on the
 dead peer; the 2PC family relies on reboot + decision queries.
 """
 
-import pytest
 
 from repro.analysis.tables import render_table
 from repro.harness.recovery import (

@@ -1,0 +1,114 @@
+"""CI benchmark-regression gate.
+
+Compares a freshly produced sweep-results document (``BENCH_*.json``,
+written by ``repro sweep --json``) against a committed baseline and
+fails when any cell's throughput dropped by more than the threshold
+(default 20 %).  Cells are matched by their canonical spec identity, so
+grid reordering is harmless while silently dropping a cell is not.
+
+Throughput here is *simulated* transactions per second — a
+deterministic function of the code, not of CI host speed — so the gate
+is exact: a trip means the protocol physics or the harness changed.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/smoke.json \
+        --current BENCH_smoke.json [--threshold 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+
+def _load(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if "cells" not in doc:
+        raise ValueError(f"{path}: not a sweep-results document (no 'cells')")
+    return doc
+
+
+def _key(cell: dict[str, Any]) -> str:
+    return json.dumps(cell["spec"], sort_keys=True, separators=(",", ":"))
+
+
+def _label(cell: dict[str, Any]) -> str:
+    spec = cell["spec"]
+    label = f"{spec['kind']}/{spec['protocol']}/n={spec['n']}"
+    if spec.get("point") is not None:
+        label += f"@{spec['point']}"
+    return label
+
+
+def compare(baseline_path: str, current_path: str, threshold: float = 0.20) -> list[str]:
+    """Problems found comparing ``current`` against ``baseline``.
+
+    Empty list means the gate passes.  Each problem is a human-readable
+    line; throughput *improvements* and new cells never fail the gate.
+    """
+    baseline = _load(baseline_path)
+    current = _load(current_path)
+    current_by_key = {_key(c): c for c in current["cells"]}
+    problems: list[str] = []
+    for cell in baseline["cells"]:
+        key = _key(cell)
+        now = current_by_key.get(key)
+        if now is None:
+            problems.append(f"missing cell in current results: {_label(cell)}")
+            continue
+        base_tput = cell["throughput"]
+        now_tput = now["throughput"]
+        floor = base_tput * (1.0 - threshold)
+        if now_tput < floor:
+            drop = (1.0 - now_tput / base_tput) * 100.0 if base_tput else 0.0
+            problems.append(
+                f"throughput regression: {_label(cell)} "
+                f"{base_tput:.2f} -> {now_tput:.2f} tx/s (-{drop:.1f} %, "
+                f"allowed -{threshold * 100:.0f} %)"
+            )
+        if cell.get("committed") is not None and now.get("committed") != cell["committed"]:
+            problems.append(
+                f"committed-count drift: {_label(cell)} "
+                f"{cell['committed']} -> {now.get('committed')}"
+            )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--current", required=True, help="freshly measured JSON")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max tolerated fractional throughput drop (default 0.20)")
+    args = parser.parse_args(argv)
+
+    problems = compare(args.baseline, args.current, threshold=args.threshold)
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    print(
+        f"regression gate: {len(baseline['cells'])} baseline cells vs "
+        f"{len(current['cells'])} current cells "
+        f"(threshold {args.threshold * 100:.0f} %)"
+    )
+    for cell in baseline["cells"]:
+        now = {_key(c): c for c in current["cells"]}.get(_key(cell))
+        if now is not None:
+            ratio = now["throughput"] / cell["throughput"] if cell["throughput"] else 1.0
+            print(f"  {_label(cell)}: {cell['throughput']:.2f} -> "
+                  f"{now['throughput']:.2f} tx/s ({ratio:.1%} of baseline)")
+    if problems:
+        print(f"\nFAIL — {len(problems)} problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("\nOK — no regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ Run:  python examples/distributed_namespace.py
 """
 
 from repro import Cluster
-from repro.fs import HashPlacement, ObjectId, SubtreePlacement
+from repro.fs import HashPlacement, SubtreePlacement
 
 SERVERS = ["mds1", "mds2", "mds3", "mds4"]
 PATHS = [f"/dir{d}/file{i}" for d in (1, 2) for i in range(6)]
@@ -65,9 +65,6 @@ def main() -> None:
     done = hash_cluster.sim.process(scenario(hash_cluster.sim), name="fig1")
     hash_cluster.sim.run(until=done)
     hash_cluster.sim.run(until=hash_cluster.sim.now + 60.0)
-    n_dist = sum(
-        1 for o in hash_cluster.outcomes
-    )
     dist_txns = hash_cluster.trace.count("msg_send", kind="UPDATE_REQ")
     print(f"{len(hash_cluster.outcomes)} transactions committed, "
           f"{dist_txns} of them distributed")

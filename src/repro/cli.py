@@ -89,35 +89,81 @@ def _cmd_burst(args: argparse.Namespace) -> int:
     return 0 if not violations else 1
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis.tables import render_table
+def _sweep_grid(args: argparse.Namespace):
+    """Build ``(specs, labeller, title)`` for the chosen sweep kind."""
+    from repro import exec as rexec
     from repro.config import KB
-    from repro.harness import sweeps
 
     if args.kind == "latency":
         points = [10e-6, 100e-6, 1e-3, 5e-3]
-        table = sweeps.sweep_network_latency(points, n=args.n)
-        label = lambda v: f"{v * 1e6:.0f} us"
-        title = "Throughput (tx/s) vs network latency"
-    elif args.kind == "disk":
+        specs = rexec.network_latency_grid(points, n=args.n, seed=args.seed)
+
+        def label(value):
+            return f"{value * 1e6:.0f} us"
+
+        return specs, label, "Throughput (tx/s) vs network latency"
+    if args.kind == "disk":
         points = [100 * KB, 400 * KB, 4000 * KB]
-        table = sweeps.sweep_disk_bandwidth(points, n=args.n)
-        label = lambda v: f"{v / KB:.0f} KB/s"
-        title = "Throughput (tx/s) vs log-device bandwidth"
-    elif args.kind == "burst":
+        specs = rexec.disk_bandwidth_grid(points, n=args.n, seed=args.seed)
+
+        def label(value):
+            return f"{value / KB:.0f} KB/s"
+
+        return specs, label, "Throughput (tx/s) vs log-device bandwidth"
+    if args.kind == "burst":
         points = [1, 10, 50, 150]
-        table = sweeps.sweep_burst_size(points)
-        label = str
-        title = "Throughput (tx/s) vs burst size"
-    else:
+        specs = rexec.burst_size_grid(points, seed=args.seed)
+        return specs, str, "Throughput (tx/s) vs burst size"
+    if args.kind == "abort":
         points = [0.0, 0.1, 0.25]
-        table = sweeps.sweep_abort_rate(points, n=args.n)
-        label = lambda v: f"{v:.0%}"
-        title = "Committed tx/s vs abort rate"
-    rows = [
-        [label(pt)] + [f"{table[pt][p]:.1f}" for p in PROTOCOLS] for pt in points
-    ]
-    print(render_table(["Point", *PROTOCOLS], rows, title=title))
+        specs = rexec.abort_rate_grid(points, n=args.n, seed=args.seed)
+
+        def label(value):
+            return f"{value:.0%}"
+
+        return specs, label, "Committed tx/s vs abort rate"
+    if args.kind == "figure6":
+        specs = rexec.figure6_grid(n=args.n, seed=args.seed)
+        return specs, str, f"Figure 6 grid — throughput (tx/s), burst of {args.n}"
+    if args.kind == "scaling":
+        specs = rexec.scaling_grid(args.protocol, ops_per_dir=args.n, seed=args.seed)
+        return specs, str, f"Scaling — aggregate tx/s per pair count ({args.protocol})"
+    raise ValueError(f"unknown sweep kind {args.kind!r}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run one experiment grid through the parallel executor."""
+    import sys as _sys
+
+    from repro.analysis.tables import render_table
+    from repro.exec import run_sweep
+
+    specs, label, title = _sweep_grid(args)
+    progress = None
+    if args.progress:
+        def progress(event):
+            print(event, file=_sys.stderr)
+
+    sweep = run_sweep(specs, kind=args.kind, workers=args.workers, progress=progress)
+
+    if args.kind in ("figure6", "scaling"):
+        rows = [
+            [str(label(cell.spec.point)), f"{cell.throughput:.1f}", str(cell.committed)]
+            for cell in sweep.cells
+        ]
+        print(render_table(["Point", "Throughput (tx/s)", "Committed"], rows, title=title))
+    else:
+        table: dict = {}
+        for cell in sweep.cells:
+            table.setdefault(cell.spec.point, {})[cell.spec.protocol] = cell.throughput
+        rows = [
+            [label(pt)] + [f"{table[pt][p]:.1f}" for p in PROTOCOLS] for pt in table
+        ]
+        print(render_table(["Point", *PROTOCOLS], rows, title=title))
+    if args.json:
+        sweep.write_json(args.json, canonical=args.canonical)
+        print(f"wrote {len(sweep.cells)} cells to {args.json}"
+              f"{' (canonical)' if args.canonical else ''}")
     return 0
 
 
@@ -223,6 +269,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -252,9 +305,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--op", choices=["create", "delete"], default="create")
     p.set_defaults(func=_cmd_burst)
 
-    p = sub.add_parser("sweep", help="extension parameter sweeps")
-    p.add_argument("--kind", choices=["latency", "disk", "burst", "abort"], default="latency")
-    p.add_argument("--n", type=int, default=40)
+    p = sub.add_parser("sweep", help="parameter sweeps via the parallel executor")
+    p.add_argument(
+        "--kind",
+        choices=["latency", "disk", "burst", "abort", "figure6", "scaling"],
+        default="latency",
+    )
+    p.add_argument("--n", type=int, default=40, help="burst size / ops per directory")
+    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC",
+                   help="protocol for --kind scaling")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="process-pool size (1 = serial; results are identical)")
+    p.add_argument("--seed", type=int, default=0, help="base seed for the grid")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write machine-readable results to PATH")
+    p.add_argument("--canonical", action="store_true",
+                   help="omit volatile meta from --json (bit-reproducible output)")
+    p.add_argument("--progress", action="store_true",
+                   help="report per-cell progress on stderr")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("recovery", help="crash recovery timing")

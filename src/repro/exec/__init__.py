@@ -1,0 +1,64 @@
+"""Parallel experiment executor.
+
+The substrate the evaluation fans out on: declarative
+:class:`RunSpec` grids, a process-pool :func:`run_grid` whose parallel
+output is bit-identical to serial execution (deterministic per-spec
+seeding, spec-order merge), and a machine-readable results layer
+(:class:`SweepResults`) the CI regression gate consumes.
+
+::
+
+    from repro.exec import figure6_grid, run_sweep
+
+    sweep = run_sweep(figure6_grid(n=100), kind="figure6", workers=4)
+    sweep.write_json("BENCH_figure6.json")
+"""
+
+from repro.exec.executor import (
+    ExperimentError,
+    ProgressEvent,
+    host_trace_log,
+    run_grid,
+)
+from repro.exec.grids import (
+    DEFAULT_PROTOCOLS,
+    abort_rate_grid,
+    burst_size_grid,
+    disk_bandwidth_grid,
+    figure6_grid,
+    network_latency_grid,
+    scaling_grid,
+)
+from repro.exec.results import (
+    SweepResults,
+    cell_key,
+    git_revision,
+    load_results,
+    run_sweep,
+)
+from repro.exec.runners import execute_spec, register_runner
+from repro.exec.spec import CellResult, RunSpec, derive_seed
+
+__all__ = [
+    "DEFAULT_PROTOCOLS",
+    "CellResult",
+    "ExperimentError",
+    "ProgressEvent",
+    "RunSpec",
+    "SweepResults",
+    "abort_rate_grid",
+    "burst_size_grid",
+    "cell_key",
+    "derive_seed",
+    "disk_bandwidth_grid",
+    "execute_spec",
+    "figure6_grid",
+    "git_revision",
+    "host_trace_log",
+    "load_results",
+    "network_latency_grid",
+    "register_runner",
+    "run_grid",
+    "run_sweep",
+    "scaling_grid",
+]

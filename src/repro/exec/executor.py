@@ -1,0 +1,203 @@
+"""Process-pool experiment executor with deterministic fan-out.
+
+``run_grid`` takes a declarative list of :class:`RunSpec` cells and
+executes them either inline (``workers=1``, the serial fallback) or
+across a ``ProcessPoolExecutor``.  Three properties make the parallel
+path a drop-in replacement for the serial one:
+
+* **Deterministic seeding** — every run's simulation seed is derived
+  from its spec (:func:`repro.exec.spec.derive_seed`), never from
+  worker identity or completion order.
+* **Spec-order merge** — results are returned in the order the specs
+  were given, regardless of which worker finished first, so parallel
+  output is bit-identical to serial output.
+* **Loud failure** — an exception in any worker aborts the whole grid
+  with an :class:`ExperimentError` naming the failing spec and carrying
+  the worker's traceback; a worker process dying outright (OOM kill,
+  hard crash) is reported the same way.
+
+Progress and metrics reporting reuses the simulator's observability
+conventions: the executor emits ``exec``-category records into a
+:class:`~repro.sim.monitor.TraceLog` driven by a host wall clock, and
+aggregates per-cell host seconds in a
+:class:`~repro.sim.monitor.Monitor`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.exec.runners import execute_spec
+from repro.exec.spec import CellResult, RunSpec
+from repro.sim.monitor import Monitor, TraceLog
+
+
+class ExperimentError(RuntimeError):
+    """A grid cell failed; the message names the spec and the cause."""
+
+
+class HostClock:
+    """Adapter giving :class:`TraceLog` a wall clock instead of sim time."""
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed cell, reported in completion (not spec) order."""
+
+    done: int
+    total: int
+    index: int
+    spec: RunSpec
+    seconds: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.done}/{self.total}] {self.spec.describe()} ({self.seconds:.2f}s)"
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def host_trace_log(enabled: bool = True) -> TraceLog:
+    """A TraceLog timestamped with host wall time, for executor events."""
+    return TraceLog(HostClock(), enabled=enabled)
+
+
+def run_grid(
+    specs: Iterable[RunSpec],
+    workers: int = 1,
+    progress: Optional[ProgressCallback] = None,
+    trace: Optional[TraceLog] = None,
+    monitor: Optional[Monitor] = None,
+    keep_clusters: bool = False,
+) -> list[CellResult]:
+    """Execute every spec and return results in spec order.
+
+    ``workers=1`` runs inline in this process (and may retain live
+    clusters on result payloads when ``keep_clusters`` is set);
+    ``workers>1`` fans out over a process pool, where payloads are
+    stripped to picklable data.  Both paths produce identical
+    measurements for identical specs.
+    """
+    spec_list = list(specs)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    total = len(spec_list)
+    if trace is not None:
+        trace.emit("exec", "executor", event="grid_start", cells=total, workers=workers)
+    if workers == 1 or total <= 1:
+        results = _run_serial(spec_list, progress, trace, monitor, keep_clusters)
+    else:
+        results = _run_pooled(spec_list, workers, progress, trace, monitor)
+    if trace is not None:
+        trace.emit("exec", "executor", event="grid_done", cells=total)
+    return results
+
+
+def _run_serial(
+    specs: Sequence[RunSpec],
+    progress: Optional[ProgressCallback],
+    trace: Optional[TraceLog],
+    monitor: Optional[Monitor],
+    keep_clusters: bool,
+) -> list[CellResult]:
+    results: list[CellResult] = []
+    for index, spec in enumerate(specs):
+        started = time.monotonic()
+        try:
+            cell = execute_spec(spec, keep_cluster=keep_clusters)
+        except Exception as exc:
+            raise ExperimentError(
+                f"spec {index} ({spec.describe()}) failed: {exc!r}\n"
+                f"{traceback.format_exc()}"
+            ) from exc
+        _report(index, spec, started, len(results) + 1, len(specs), progress, trace, monitor)
+        results.append(cell)
+    return results
+
+
+def _run_pooled(
+    specs: Sequence[RunSpec],
+    workers: int,
+    progress: Optional[ProgressCallback],
+    trace: Optional[TraceLog],
+    monitor: Optional[Monitor],
+) -> list[CellResult]:
+    results: list[Optional[CellResult]] = [None] * len(specs)
+    done = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {
+            pool.submit(_pool_entry, index, spec): index
+            for index, spec in enumerate(specs)
+        }
+        try:
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = pending.pop(future)
+                    spec = specs[index]
+                    try:
+                        status, payload, seconds = future.result()
+                    except BrokenProcessPool as exc:
+                        raise ExperimentError(
+                            f"a worker process died while running the grid "
+                            f"(first unfinished spec: {index} — {spec.describe()}): {exc!r}"
+                        ) from exc
+                    if status == "error":
+                        raise ExperimentError(
+                            f"spec {index} ({spec.describe()}) failed in worker:\n{payload}"
+                        )
+                    done += 1
+                    started = time.monotonic() - seconds
+                    _report(index, spec, started, done, len(specs), progress, trace, monitor)
+                    results[index] = payload
+        finally:
+            for future in pending:
+                future.cancel()
+    return list(results)  # type: ignore[arg-type]
+
+
+def _pool_entry(index: int, spec: RunSpec):
+    """Worker-side wrapper: never raises, so no exception must pickle."""
+    started = time.monotonic()
+    try:
+        cell = execute_spec(spec, keep_cluster=False)
+    except BaseException:
+        return "error", traceback.format_exc(), time.monotonic() - started
+    return "ok", cell, time.monotonic() - started
+
+
+def _report(
+    index: int,
+    spec: RunSpec,
+    started: float,
+    done: int,
+    total: int,
+    progress: Optional[ProgressCallback],
+    trace: Optional[TraceLog],
+    monitor: Optional[Monitor],
+) -> None:
+    seconds = time.monotonic() - started
+    if monitor is not None:
+        monitor.observe(time.monotonic(), seconds)
+    if trace is not None:
+        trace.emit(
+            "exec",
+            "executor",
+            event="cell_done",
+            index=index,
+            done=done,
+            total=total,
+            spec=spec.describe(),
+            seconds=seconds,
+        )
+    if progress is not None:
+        progress(ProgressEvent(done=done, total=total, index=index, spec=spec, seconds=seconds))

@@ -1,0 +1,157 @@
+"""Run specifications for the parallel experiment executor.
+
+A :class:`RunSpec` is the declarative unit of work of the executor: one
+``(kind, protocol, SimulationParams, seed)`` cell of an experiment
+grid.  Specs are plain frozen dataclasses so they pickle cleanly across
+process boundaries, and every spec has a stable *identity* — a
+canonical JSON encoding of all its fields — from which the per-run
+random seed is derived.  Deriving the seed from the spec (instead of,
+say, a worker-local counter) is what makes a parallel sweep
+bit-identical to a serial one: the seed depends only on *what* is run,
+never on *where* or *in which order*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Optional, Union
+
+from repro.config import SimulationParams
+
+#: The swept x-value a spec represents (network latency, burst size,
+#: abort rate, pair count...).  Purely a label: the physics of the run
+#: are fully encoded in ``params`` and the spec's own fields.
+Point = Union[float, int, str, None]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of an experiment grid.
+
+    ``kind`` selects the runner (see :mod:`repro.exec.runners`):
+
+    * ``"burst"`` — the §IV simultaneous-submission workload,
+    * ``"abort_burst"`` — burst with a fraction of refused votes,
+    * ``"scaling"`` — striped multi-pair cluster throughput.
+    """
+
+    kind: str
+    protocol: str
+    #: Burst size for burst kinds; operations per directory for scaling.
+    n: int = 100
+    op: str = "create"
+    abort_rate: float = 0.0
+    n_pairs: int = 1
+    #: Base seed; the effective simulation seed is derived from the
+    #: whole spec (see :func:`derive_seed`), so two specs differing in
+    #: any field get independent random streams.
+    seed: int = 0
+    point: Point = None
+    params: Optional[SimulationParams] = None
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("kind must be non-empty")
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if not 0.0 <= self.abort_rate < 1.0:
+            raise ValueError(f"abort_rate must be in [0, 1), got {self.abort_rate}")
+        if self.n_pairs < 1:
+            raise ValueError(f"n_pairs must be >= 1, got {self.n_pairs}")
+
+    @property
+    def effective_params(self) -> SimulationParams:
+        """The spec's parameters, defaulted to the paper's §IV values."""
+        return self.params or SimulationParams.paper_defaults()
+
+    def seeded_params(self) -> SimulationParams:
+        """``effective_params`` with the derived per-spec seed applied."""
+        return replace(self.effective_params, seed=derive_seed(self))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical plain-data form (used for identity and JSON)."""
+        return {
+            "kind": self.kind,
+            "protocol": self.protocol,
+            "n": self.n,
+            "op": self.op,
+            "abort_rate": self.abort_rate,
+            "n_pairs": self.n_pairs,
+            "seed": self.seed,
+            "point": self.point,
+            "params": asdict(self.effective_params),
+        }
+
+    def identity(self) -> str:
+        """Canonical JSON identity — stable across processes and runs."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def describe(self) -> str:
+        """Short human-readable label for progress lines."""
+        bits = [self.kind, self.protocol, f"n={self.n}"]
+        if self.kind == "abort_burst":
+            bits.append(f"abort={self.abort_rate:g}")
+        if self.kind == "scaling":
+            bits.append(f"pairs={self.n_pairs}")
+        if self.point is not None:
+            bits.append(f"point={self.point}")
+        return " ".join(bits)
+
+
+def derive_seed(spec: RunSpec) -> int:
+    """A 63-bit seed computed from the spec's canonical identity.
+
+    Stable across processes, Python versions and worker scheduling —
+    the cornerstone of parallel/serial bit-identity.
+    """
+    digest = hashlib.sha256(spec.identity().encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Plain-data outcome of one executed spec.
+
+    Everything here pickles across the process pool; ``payload``
+    optionally carries the runner's native result object (e.g. a
+    :class:`~repro.workloads.burst.BurstResult`) and is excluded from
+    the JSON serialisation.
+    """
+
+    spec: RunSpec
+    derived_seed: int
+    committed: int
+    aborted: int
+    makespan: float
+    throughput: float
+    latency: Optional[Any] = None  # LatencyStats, kept loose for pickling
+    forced_writes: int = 0
+    lazy_writes: int = 0
+    payload: Optional[Any] = field(default=None, compare=False, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (schema consumed by the CI regression gate)."""
+        latency = None
+        if self.latency is not None:
+            latency = {
+                "count": self.latency.count,
+                "mean": self.latency.mean,
+                "min": self.latency.minimum,
+                "max": self.latency.maximum,
+                "p50": self.latency.p50,
+                "p95": self.latency.p95,
+                "p99": self.latency.p99,
+            }
+        return {
+            "spec": self.spec.to_dict(),
+            "derived_seed": self.derived_seed,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "latency": latency,
+            "forced_writes": self.forced_writes,
+            "lazy_writes": self.lazy_writes,
+        }

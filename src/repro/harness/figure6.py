@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.tables import render_bar_chart
 from repro.config import SimulationParams
-from repro.workloads.burst import BurstResult, run_burst
+from repro.workloads.burst import BurstResult
 
 #: Paper's Figure 6 values (distributed transactions per second).
 PAPER_FIGURE6 = {"PrN": 15.0, "PrC": 15.06, "EP": 16.0, "1PC": 24.0}
@@ -55,9 +55,20 @@ def run_figure6(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     n: int = 100,
     params: Optional[SimulationParams] = None,
+    workers: int = 1,
 ) -> Figure6Result:
-    """Run the Figure 6 experiment for every protocol."""
-    results = {}
-    for protocol in protocols:
-        results[protocol] = run_burst(protocol, n=n, params=params)
-    return Figure6Result(results=results, n=n)
+    """Run the Figure 6 experiment for every protocol.
+
+    The grid is routed through the parallel executor; measurements are
+    identical for any ``workers`` count.  The serial path (the default)
+    keeps each run's live cluster on its :class:`BurstResult` for
+    post-run invariant checks; parallel runs return results whose
+    ``cluster`` is ``None`` (clusters do not cross process boundaries).
+    """
+    from repro.exec import figure6_grid, run_grid
+
+    specs = figure6_grid(n=n, protocols=protocols, params=params)
+    cells = run_grid(specs, workers=workers, keep_clusters=workers == 1)
+    return Figure6Result(
+        results={cell.spec.protocol: cell.payload for cell in cells}, n=n
+    )

@@ -10,7 +10,8 @@ still a two-MDS transaction and no server plays two roles).
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.config import SimulationParams
 from repro.fs.objects import ObjectId
@@ -46,12 +47,27 @@ class StripedPlacement:
         """Placement is fixed by construction."""
 
 
-def run_scaling_point(
+@dataclass(frozen=True)
+class ScalingCell:
+    """Measured outcome of one scaling grid point."""
+
+    protocol: str
+    n_pairs: int
+    total: int
+    committed: int
+    makespan: float
+    throughput: float
+    forced_writes: int
+    lazy_writes: int
+    seed: int
+
+
+def run_scaling_cell(
     protocol: str,
     n_pairs: int,
     ops_per_dir: int = 25,
     params: Optional[SimulationParams] = None,
-) -> float:
+) -> ScalingCell:
     """Aggregate throughput with ``n_pairs`` coordinator/worker pairs."""
     names = [f"mds{i}" for i in range(1, 2 * n_pairs + 1)]
     placement = StripedPlacement(n_pairs)
@@ -82,17 +98,45 @@ def run_scaling_point(
     violations = cluster.check_invariants()
     if violations:
         raise RuntimeError(f"invariant violations at n_pairs={n_pairs}: {violations}")
-    return total / (end - start)
+    forced = sum(s.wal.forced_appends for s in cluster.servers.values())
+    lazy = sum(s.wal.lazy_appends for s in cluster.servers.values())
+    return ScalingCell(
+        protocol=protocol,
+        n_pairs=n_pairs,
+        total=total,
+        committed=committed,
+        makespan=end - start,
+        throughput=total / (end - start),
+        forced_writes=forced,
+        lazy_writes=lazy,
+        seed=cluster.params.seed,
+    )
+
+
+def run_scaling_point(
+    protocol: str,
+    n_pairs: int,
+    ops_per_dir: int = 25,
+    params: Optional[SimulationParams] = None,
+) -> float:
+    """Aggregate throughput with ``n_pairs`` pairs (scalar shorthand)."""
+    return run_scaling_cell(protocol, n_pairs, ops_per_dir=ops_per_dir, params=params).throughput
 
 
 def sweep_scaling(
     protocol: str,
-    pair_counts=(1, 2, 4),
+    pair_counts: Sequence[int] = (1, 2, 4),
     ops_per_dir: int = 25,
     params: Optional[SimulationParams] = None,
+    workers: int = 1,
 ) -> dict[int, float]:
-    """Aggregate throughput for each cluster size."""
-    return {
-        k: run_scaling_point(protocol, k, ops_per_dir=ops_per_dir, params=params)
-        for k in pair_counts
-    }
+    """Aggregate throughput for each cluster size.
+
+    Routed through the parallel executor; ``workers=1`` is the serial
+    fallback and produces identical results to any worker count.
+    """
+    from repro.exec import run_grid, scaling_grid
+
+    specs = scaling_grid(protocol, pair_counts=pair_counts, ops_per_dir=ops_per_dir, params=params)
+    cells = run_grid(specs, workers=workers)
+    return {cell.spec.n_pairs: cell.throughput for cell in cells}

@@ -6,17 +6,36 @@ Not in the paper, but the natural ablations of its design choices:
 * log-device bandwidth (the protocols differ mainly in forced writes),
 * burst size (contention scaling on one directory),
 * abort rate (PrC degrades to PrN on aborts — §II-D).
+
+Every sweep is a declarative grid routed through the parallel
+executor (:mod:`repro.exec`): ``workers=1`` is the serial fallback and
+any worker count produces bit-identical results, because per-run seeds
+derive from the spec rather than scheduling order.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.config import SimulationParams
-from repro.workloads.burst import run_burst
+from repro.exec import (
+    CellResult,
+    abort_rate_grid,
+    burst_size_grid,
+    disk_bandwidth_grid,
+    network_latency_grid,
+    run_grid,
+)
 
 DEFAULT_PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
+
+
+def _fold(cells: Sequence[CellResult]) -> dict:
+    """Cells (point-major order) -> ``{point: {protocol: throughput}}``."""
+    out: dict = {}
+    for cell in cells:
+        out.setdefault(cell.spec.point, {})[cell.spec.protocol] = cell.throughput
+    return out
 
 
 def sweep_network_latency(
@@ -24,16 +43,11 @@ def sweep_network_latency(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     n: int = 50,
     params: Optional[SimulationParams] = None,
+    workers: int = 1,
 ) -> dict[float, dict[str, float]]:
     """Throughput per protocol for each one-way network latency."""
-    base = params or SimulationParams.paper_defaults()
-    out: dict[float, dict[str, float]] = {}
-    for latency in latencies:
-        p = base.with_(network=replace(base.network, latency=latency))
-        out[latency] = {
-            proto: run_burst(proto, n=n, params=p).throughput for proto in protocols
-        }
-    return out
+    specs = network_latency_grid(latencies, protocols=protocols, n=n, params=params)
+    return _fold(run_grid(specs, workers=workers))
 
 
 def sweep_disk_bandwidth(
@@ -41,31 +55,22 @@ def sweep_disk_bandwidth(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     n: int = 50,
     params: Optional[SimulationParams] = None,
+    workers: int = 1,
 ) -> dict[float, dict[str, float]]:
     """Throughput per protocol for each log-device bandwidth."""
-    base = params or SimulationParams.paper_defaults()
-    out: dict[float, dict[str, float]] = {}
-    for bandwidth in bandwidths:
-        p = base.with_(storage=replace(base.storage, bandwidth=bandwidth))
-        out[bandwidth] = {
-            proto: run_burst(proto, n=n, params=p).throughput for proto in protocols
-        }
-    return out
+    specs = disk_bandwidth_grid(bandwidths, protocols=protocols, n=n, params=params)
+    return _fold(run_grid(specs, workers=workers))
 
 
 def sweep_burst_size(
     sizes: Sequence[int],
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     params: Optional[SimulationParams] = None,
+    workers: int = 1,
 ) -> dict[int, dict[str, float]]:
     """Throughput per protocol for each burst size."""
-    out: dict[int, dict[str, float]] = {}
-    for size in sizes:
-        out[size] = {
-            proto: run_burst(proto, n=size, params=params).throughput
-            for proto in protocols
-        }
-    return out
+    specs = burst_size_grid(sizes, protocols=protocols, params=params)
+    return _fold(run_grid(specs, workers=workers))
 
 
 def sweep_abort_rate(
@@ -74,59 +79,26 @@ def sweep_abort_rate(
     n: int = 50,
     params: Optional[SimulationParams] = None,
     seed: int = 7,
+    workers: int = 1,
 ) -> dict[float, dict[str, float]]:
-    """Throughput per protocol with a fraction of worker-refused votes.
+    """Committed throughput per protocol with a fraction of refused votes.
 
     Vote refusals are injected deterministically via each server's
-    ``fail_next_vote`` hook, spread evenly over the burst.
+    ``fail_next_vote`` hook, spread evenly over the burst (the runner
+    lives in :mod:`repro.exec.runners`).
     """
-    out: dict[float, dict[str, float]] = {}
     for rate in rates:
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"abort rate must be in [0, 1), got {rate}")
-        row = {}
-        for proto in protocols:
-            row[proto] = _burst_with_aborts(proto, n, rate, params)
-        out[rate] = row
-    return out
+    specs = abort_rate_grid(rates, protocols=protocols, n=n, params=params, seed=seed)
+    return _fold(run_grid(specs, workers=workers))
 
 
-def _burst_with_aborts(
-    protocol: str, n: int, rate: float, params: Optional[SimulationParams]
-) -> float:
-    from repro.harness.scenarios import burst_cluster
+def _burst_with_aborts(protocol, n, rate, params, seed=7):
+    """Committed tx/s of one abort-injected burst (legacy shorthand)."""
+    from repro.exec import RunSpec, execute_spec
 
-    cluster, client = burst_cluster(protocol, params=params)
-    sim = cluster.sim
-    worker = cluster.servers["mds2"]
-    fail_every = int(1.0 / rate) if rate > 0 else 0
-
-    submitted = 0
-    start = sim.now
-    for i in range(n):
-        client.submit(client.plan_create(f"/dir1/f{i}"))
-        submitted += 1
-
-    # Arm vote failures as transactions reach the worker: flip the hook
-    # whenever the counter of started transactions crosses a multiple.
-    armed = {"count": 0}
-
-    def arm_failures(sim):
-        while armed["count"] * fail_every < n if fail_every else False:
-            target = armed["count"] * fail_every
-            while len(cluster.outcomes) < target:
-                yield sim.timeout(1e-4)
-            worker.fail_next_vote = True
-            armed["count"] += 1
-        if False:
-            yield  # pragma: no cover
-
-    if fail_every:
-        sim.process(arm_failures(sim), name="abort-injector")
-
-    while len(cluster.outcomes) < n:
-        sim.step()
-    end = max(o.replied_at for o in cluster.outcomes)
-    committed = sum(1 for o in cluster.outcomes if o.committed)
-    makespan = end - start
-    return committed / makespan if makespan > 0 else float("inf")
+    spec = RunSpec(
+        kind="abort_burst", protocol=protocol, n=n, abort_rate=rate, seed=seed, params=params
+    )
+    return execute_spec(spec).throughput

@@ -1,7 +1,5 @@
 """Trace-diff tool tests."""
 
-import pytest
-
 from repro.analysis.compare import compare_traces
 from repro.sim.monitor import TraceRecord
 from tests.protocols.conftest import drain, make_cluster, run_create

@@ -43,7 +43,9 @@ def test_model_gain_signs_match_paper():
 def test_model_solo_latency_ordering_matches_measurement():
     measured = {p: measure_protocol_costs(p).client_latency for p in PROTOCOLS}
     modelled = {p: predict(p).solo_latency for p in PROTOCOLS}
-    order = lambda d: sorted(d, key=d.get)
+    def order(d):
+        return sorted(d, key=d.get)
+
     assert order(measured) == order(modelled) == ["1PC", "EP", "PrC", "PrN"]
 
 

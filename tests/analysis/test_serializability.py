@@ -3,11 +3,10 @@
 import pytest
 
 from repro.analysis.serializability import (
-    SerializabilityViolation,
     replay_serial,
     verify_serial_equivalence,
 )
-from repro.fs import AddDentry, CreateInode, OpPlan
+from repro.fs import AddDentry, OpPlan
 from repro.harness.scenarios import distributed_create_cluster
 
 

@@ -34,7 +34,7 @@ def test_dump_to_stream():
     trace = traced_run()
     buffer = io.StringIO()
     dump_trace(trace, buffer)
-    lines = [l for l in buffer.getvalue().splitlines() if l]
+    lines = [line for line in buffer.getvalue().splitlines() if line]
     assert len(lines) == len(trace)
     # Every line is valid JSON with the expected keys.
     for line in lines[:5]:

@@ -9,12 +9,11 @@ from repro.analysis.utilization import (
     txn_breakdown,
 )
 from repro.workloads import run_burst
-from tests.protocols.conftest import drain, make_cluster, run_create
 
 
 @pytest.fixture(scope="module")
 def burst_trace():
-    result = run_burst("1PC", n=20)
+    run_burst("1PC", n=20)
     # run_burst disables tracing by default; re-run one with tracing.
     from repro.harness.scenarios import distributed_create_cluster
 

@@ -1,0 +1,90 @@
+"""Results-layer tests: JSON schema, canonical form, regression gate."""
+
+import json
+
+import pytest
+
+from repro.exec import (
+    cell_key,
+    figure6_grid,
+    load_results,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(figure6_grid(n=6, protocols=("PrN", "1PC")), kind="figure6", workers=1)
+
+
+def test_document_schema(sweep):
+    doc = sweep.to_dict()
+    assert doc["schema_version"] == 1
+    assert doc["kind"] == "figure6"
+    assert isinstance(doc["git_rev"], str) and doc["git_rev"]
+    assert set(doc["meta"]) == {"created_at", "wall_time_s", "workers"}
+    assert len(doc["cells"]) == 2
+    cell = doc["cells"][0]
+    assert cell["spec"]["protocol"] == "PrN"
+    assert cell["committed"] == 6
+    assert cell["throughput"] > 0
+    assert cell["forced_writes"] > 0
+    assert cell["latency"]["p50"] > 0
+
+
+def test_canonical_form_drops_volatile_meta(sweep):
+    doc = sweep.to_dict(canonical=True)
+    assert "meta" not in doc
+    # Canonical text is stable across serialisations.
+    assert sweep.to_json(canonical=True) == sweep.to_json(canonical=True)
+
+
+def test_round_trip_and_schema_check(tmp_path, sweep):
+    path = tmp_path / "sweep.json"
+    sweep.write_json(str(path))
+    doc = load_results(str(path))
+    assert len(doc["cells"]) == len(sweep.cells)
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema_version": 99, "cells": []}))
+    with pytest.raises(ValueError, match="unsupported sweep-results schema"):
+        load_results(str(bad))
+
+
+def test_cell_key_identifies_spec(sweep):
+    keys = [cell_key(c.to_dict()) for c in sweep.cells]
+    assert len(set(keys)) == len(keys)
+    assert all("protocol" in k for k in keys)
+
+
+def test_regression_gate_passes_and_fails(tmp_path, sweep):
+    from benchmarks import check_regression
+
+    base = tmp_path / "base.json"
+    sweep.write_json(str(base), canonical=True)
+
+    # Identical results: no problems.
+    assert check_regression.compare(str(base), str(base), threshold=0.2) == []
+
+    # A 30 % throughput drop trips the 20 % gate.
+    doc = sweep.to_dict(canonical=True)
+    doc["cells"][0]["throughput"] *= 0.7
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps(doc), encoding="utf-8")
+    problems = check_regression.compare(str(base), str(slow), threshold=0.2)
+    assert len(problems) == 1 and "regression" in problems[0]
+
+    # A missing cell is also a failure.
+    doc2 = sweep.to_dict(canonical=True)
+    doc2["cells"] = doc2["cells"][1:]
+    partial = tmp_path / "partial.json"
+    partial.write_text(json.dumps(doc2), encoding="utf-8")
+    problems = check_regression.compare(str(base), str(partial), threshold=0.2)
+    assert any("missing" in p for p in problems)
+
+    assert check_regression.main(
+        ["--baseline", str(base), "--current", str(base)]
+    ) == 0
+    assert check_regression.main(
+        ["--baseline", str(base), "--current", str(slow), "--threshold", "0.2"]
+    ) == 1

@@ -104,7 +104,7 @@ def run_torture_mixed(protocol, seed, n_faults=3):
                 # timeouts; the driver carries on like a real client.
                 continue
 
-    p = cluster.sim.process(driver(cluster.sim), name="mixed-torture")
+    cluster.sim.process(driver(cluster.sim), name="mixed-torture")
     cluster.sim.run(until=cluster.sim.now + 400.0)
     return cluster
 

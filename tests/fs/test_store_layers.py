@@ -1,6 +1,6 @@
 """Tests for the overlay / cache / stable layering of MetadataStore."""
 
-from repro.fs import AddDentry, CreateInode, MetadataStore
+from repro.fs import AddDentry, MetadataStore
 
 
 def make_store():

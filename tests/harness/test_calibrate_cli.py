@@ -4,7 +4,6 @@ import pytest
 
 from repro.harness.calibrate import (
     PAPER_GAINS,
-    CalibrationPoint,
     grid_search,
     measure_gains,
     score,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fs import ObjectId, plan_migrate
+from repro.fs import plan_migrate
 from repro.harness.migration_study import (
     MigratablePlacement,
     migrate_directory,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.locks import LockManager, LockMode, WaitForGraph, find_deadlock_cycle
+from repro.locks import LockManager, WaitForGraph, find_deadlock_cycle
 from repro.sim import Simulator
 
 

@@ -251,7 +251,7 @@ def test_release_all_withdraws_queued_requests():
         yield from mgr.acquire(2, "dir")
 
     sim.process(holder(sim))
-    w = sim.process(waiter(sim))
+    sim.process(waiter(sim))
     sim.run(until=0.5)
     assert mgr.queue_length("dir") == 1
     mgr.release_all(2)

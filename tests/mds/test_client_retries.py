@@ -1,7 +1,5 @@
 """Client-side resubmission of aborted transactions."""
 
-import pytest
-
 from tests.protocols.conftest import drain, make_cluster
 
 

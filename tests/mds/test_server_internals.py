@@ -1,7 +1,5 @@
 """MDS server internals: sessions, spawn tracking, routing, recovery gate."""
 
-import pytest
-
 from repro.net.message import Message
 from repro.protocols.base import MsgKind
 from tests.protocols.conftest import drain, make_cluster, run_create

@@ -1,8 +1,5 @@
 """Metadata reads (STAT): shared locking, cache visibility, POSIX view."""
 
-import pytest
-
-from repro.protocols.base import MsgKind
 from tests.protocols.conftest import drain, make_cluster, run_create
 
 
@@ -90,7 +87,7 @@ def test_concurrent_stats_share_the_lock():
     results = []
 
     def reader(sim, tag):
-        result = yield from client.stat("/dir1/f0")
+        yield from client.stat("/dir1/f0")
         results.append((tag, sim.now))
 
     for tag in range(4):

@@ -260,7 +260,7 @@ def test_byte_cost_adds_size_dependent_delay():
     got = []
 
     def receiver(sim):
-        msg = yield b.receive()
+        yield b.receive()
         got.append(sim.now)
 
     sim.process(receiver(sim))

@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.fs import (
     AddDentry,
-    CreateInode,
     HashPlacement,
     InodeAllocator,
     MetadataStore,

@@ -7,7 +7,6 @@ in-memory dictionary model.  Outcomes (success or failure *and* the
 reason class) and the final tree must agree exactly.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -134,7 +133,6 @@ def test_cluster_agrees_with_tree_model(script):
             if expected == "skip":
                 continue
             real = apply_real(cluster, client, "rename", path, f"/dir1/{n2}")
-            ok = {"ok": "ok"}.get(expected, "other")
             if expected == "missing":
                 assert real == "missing"
             elif expected == "ok":

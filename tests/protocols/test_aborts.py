@@ -1,7 +1,5 @@
 """Abort paths: worker refusals, conflicting updates, lock timeouts."""
 
-import pytest
-
 from repro.storage.records import RecordKind
 from tests.protocols.conftest import drain, make_cluster, run_create
 

@@ -14,7 +14,7 @@ the redo record guarantees the coordinator commits too after reboot.
 
 import pytest
 
-from tests.protocols.conftest import ALL_PROTOCOLS, drain, make_cluster
+from tests.protocols.conftest import drain, make_cluster
 
 
 def crash_and_recover(protocol, victim, crash_at, settle=150.0):

@@ -1,7 +1,5 @@
 """Heartbeat-accelerated failure handling in the 1PC coordinator."""
 
-import pytest
-
 from repro import Cluster
 from repro.harness.scenarios import ForcedDistributedPlacement
 

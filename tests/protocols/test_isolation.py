@@ -1,8 +1,6 @@
 """Isolation: conflicting concurrent operations, cross-server lock
 ordering and the timeout-based deadlock breaking of §II-B."""
 
-import pytest
-
 from repro import Cluster
 from repro.fs import ObjectId
 from tests.protocols.conftest import drain, make_cluster

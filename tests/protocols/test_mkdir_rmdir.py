@@ -1,7 +1,5 @@
 """Transactional MKDIR / RMDIR across the protocols."""
 
-import pytest
-
 from repro.fs import FileType
 from tests.protocols.conftest import drain, make_cluster
 

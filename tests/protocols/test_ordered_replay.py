@@ -2,7 +2,7 @@
 
 import pytest
 
-from tests.protocols.conftest import drain, make_cluster
+from tests.protocols.conftest import make_cluster
 
 
 def test_1pc_coordinator_replays_all_outstanding_in_order():

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import Cluster
-from repro.config import SimulationParams
 from repro.harness.scenarios import ForcedDistributedPlacement
 from repro.storage import FencedError
 from tests.protocols.conftest import drain, make_cluster

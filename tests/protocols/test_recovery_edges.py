@@ -1,7 +1,5 @@
 """Recovery edge cases: stray handlers, crash loops, crash-during-recovery."""
 
-import pytest
-
 from repro.protocols.base import MsgKind
 from repro.storage.records import RecordKind
 from tests.protocols.conftest import drain, make_cluster, run_create

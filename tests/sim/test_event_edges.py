@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, Simulator, Timeout
+from repro.sim import AllOf, AnyOf, Simulator, Timeout
 from repro.sim.errors import EventRefusedError
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, Simulator
+from repro.sim import AllOf, AnyOf, Simulator
 from repro.sim.errors import EventRefusedError
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Simulator, Timeout
+from repro.sim import Simulator
 from repro.sim.errors import SimulationError
 
 

@@ -110,7 +110,7 @@ def test_process_cannot_interrupt_itself():
         # Yield once so that self-reference is available.
         yield sim.timeout(0.0)
 
-    p = sim.process(selfish(sim))
+    sim.process(selfish(sim))
 
     def meta(sim):
         yield sim.timeout(0.0)

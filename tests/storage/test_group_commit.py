@@ -1,7 +1,5 @@
 """Group-commit WAL behaviour."""
 
-import pytest
-
 from repro.config import StorageParams
 from repro.sim import Simulator, TraceLog
 from repro.storage import Disk, LogRecord, RecordKind, WriteAheadLog

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import StorageParams
-from repro.sim import Simulator, TraceLog
+from repro.sim import Simulator
 from repro.storage import (
     FencedError,
     FencingController,

@@ -1,9 +1,7 @@
 """WAL edge cases not covered by the main suites."""
 
-import pytest
-
 from repro.config import StorageParams
-from repro.sim import Simulator, TraceLog
+from repro.sim import Simulator
 from repro.storage import Disk, LogRecord, RecordKind, WriteAheadLog
 
 

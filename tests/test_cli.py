@@ -85,3 +85,36 @@ def test_cli_batching(capsys):
 def test_cli_rejects_unknown_protocol(capsys):
     with pytest.raises(SystemExit):
         main(["burst", "--protocol", "3PC"])
+
+
+def test_cli_sweep_figure6_json_parallel_matches_serial(capsys, tmp_path):
+    serial = tmp_path / "serial.json"
+    parallel = tmp_path / "parallel.json"
+    code, _ = run_cli(capsys, "sweep", "--kind", "figure6", "--n", "8",
+                      "--json", str(serial), "--canonical")
+    assert code == 0
+    code, _ = run_cli(capsys, "sweep", "--kind", "figure6", "--n", "8",
+                      "--workers", "4", "--json", str(parallel), "--canonical")
+    assert code == 0
+    assert serial.read_bytes() == parallel.read_bytes()
+
+    import json
+
+    doc = json.loads(serial.read_text())
+    assert doc["kind"] == "figure6"
+    assert [c["spec"]["protocol"] for c in doc["cells"]] == ["PrN", "PrC", "EP", "1PC"]
+    assert all(c["committed"] == 8 for c in doc["cells"])
+
+
+def test_cli_sweep_scaling_table(capsys):
+    code, out = run_cli(capsys, "sweep", "--kind", "scaling", "--n", "6",
+                        "--protocol", "1PC")
+    assert code == 0
+    assert "Scaling" in out and "1PC" in out
+
+
+def test_cli_sweep_progress_reports_cells(capsys, tmp_path):
+    code = main(["sweep", "--kind", "figure6", "--n", "6", "--progress"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "[4/4]" in captured.err
