@@ -14,7 +14,7 @@ N = 30
 
 
 def traced_burst(protocol):
-    cluster, client = distributed_create_cluster(protocol, trace_enabled=True)
+    cluster, client = distributed_create_cluster(protocol, trace=True)
     for i in range(N):
         client.submit(client.plan_create(f"/dir1/f{i}"))
     while len(cluster.outcomes) < N:

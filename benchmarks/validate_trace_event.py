@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Validate a Chrome ``trace_event`` JSON file (CI gate for `repro trace`).
+
+::
+
+    python benchmarks/validate_trace_event.py TRACE.json
+
+Exits 0 when the document is structurally valid trace_event JSON (the
+format Perfetto / chrome://tracing open), 1 otherwise, listing every
+problem found.  The schema check itself lives in
+:func:`repro.obs.validate_trace_event`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace_event JSON file to validate")
+    parser.add_argument(
+        "--min-events", type=int, default=1,
+        help="require at least this many trace events (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import validate_trace_event
+
+    try:
+        with open(args.path, encoding="utf-8") as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot load {args.path}: {exc}", file=sys.stderr)
+        return 1
+
+    problems = validate_trace_event(doc)
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    n_events = len(events) if isinstance(events, list) else 0
+    if n_events < args.min_events:
+        problems.append(
+            f"expected at least {args.min_events} events, found {n_events}"
+        )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"OK: {args.path} — {n_events} valid trace events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ PROTOCOLS = ("PrN", "PrA", "PrC", "EP", "1PC")
 
 def stat_phase_rate(protocol: str, n: int) -> float:
     """Stat all files back to back; ops/s."""
-    cluster, client = distributed_create_cluster(protocol, trace_enabled=False)
+    cluster, client = distributed_create_cluster(protocol, trace=False)
 
     def build(sim):
         for i in range(n):

@@ -23,6 +23,13 @@ Quickstart::
     cluster.sim.process(scenario(cluster.sim))
     cluster.sim.run()
     assert cluster.check_invariants() == []
+
+Observability (see :mod:`repro.obs` and ``docs/observability.md``)::
+
+    import repro
+
+    spans = repro.trace(cluster)      # per-transaction span trees
+    counters = repro.metrics(cluster) # counters + histograms snapshot
 """
 
 from repro.config import (
@@ -34,6 +41,7 @@ from repro.config import (
 )
 from repro.core import BatchPlanner, OnePhaseCommitProtocol
 from repro.mds import Client, Cluster, MDSServer
+from repro.obs import MetricsRegistry, Observability, Span, SpanCollector
 from repro.protocols import (
     PROTOCOLS,
     EarlyPrepareProtocol,
@@ -44,6 +52,26 @@ from repro.protocols import (
 
 __version__ = "1.0.0"
 
+
+def trace(cluster: Cluster) -> list[Span]:
+    """The cluster's per-transaction root spans (coordinator side).
+
+    Each root span covers one transaction from submission to client
+    reply and links the worker-side legs as children.  Empty unless the
+    cluster was built with ``trace=True``.
+    """
+    return cluster.obs.spans.roots()
+
+
+def metrics(cluster: Cluster) -> dict:
+    """Plain-data snapshot of the cluster's metrics registry.
+
+    ``{"counters": {name: value}, "histograms": {name: summary}}`` —
+    empty sections unless the cluster was built with ``trace=True``.
+    """
+    return cluster.obs.metrics.snapshot()
+
+
 __all__ = [
     "PROTOCOLS",
     "BatchPlanner",
@@ -53,12 +81,18 @@ __all__ = [
     "EarlyPrepareProtocol",
     "FailureParams",
     "MDSServer",
+    "MetricsRegistry",
     "NetworkParams",
+    "Observability",
     "OnePhaseCommitProtocol",
     "PresumeCommitProtocol",
     "PresumeNothingProtocol",
     "SimulationParams",
+    "Span",
+    "SpanCollector",
     "StorageParams",
     "TxnOutcome",
     "__version__",
+    "metrics",
+    "trace",
 ]

@@ -1,10 +1,11 @@
 """Table I: protocol cost accounting — analytical and measured.
 
 The analytical rows are transcribed from the paper.  The measured rows
-are derived from a simulation trace of one distributed CREATE:
+are folded from the *transaction span* of one distributed CREATE
+(:func:`fold_span_costs` — typed events, not trace-string grepping):
 
 * *total* synchronous / asynchronous log writes: count of forced / lazy
-  appends tagged with the transaction;
+  appends attached to the span;
 * *critical-path* writes: the maximum set of pairwise-disjoint write
   intervals completing before the client reply (overlapping writes —
   the coordinator's and worker's concurrent prepares — count once,
@@ -26,29 +27,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs.span import PROTOCOL_MSG_KINDS, EventKind, Span
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.mds.cluster import Cluster
+    pass
 
 #: Messages a distributed namespace operation needs with no ACP at all
 #: (ship the updates, hear back).
 BASE_MESSAGES = 2
 
 #: Wire kinds that belong to the commit protocol (client traffic and
-#: heartbeats excluded).
-_PROTOCOL_KINDS = frozenset(
-    {
-        "UPDATE_REQ",
-        "UPDATED",
-        "PREPARE",
-        "PREPARED",
-        "NOT_PREPARED",
-        "COMMIT",
-        "ABORT",
-        "ACK",
-        "DECISION_REQ",
-        "ACK_REQ",
-    }
-)
+#: heartbeats excluded).  Re-exported alias; the canonical set lives in
+#: :mod:`repro.obs`.
+_PROTOCOL_KINDS = PROTOCOL_MSG_KINDS
 
 
 @dataclass(frozen=True)
@@ -74,7 +65,7 @@ TABLE1: dict[str, CostRow] = {
 
 @dataclass(frozen=True)
 class MeasuredCosts:
-    """Counts extracted from a trace, in Table I's units."""
+    """Counts folded from a transaction span, in Table I's units."""
 
     row: CostRow
     client_latency: float
@@ -92,69 +83,56 @@ def _disjoint_interval_count(intervals: list[tuple[float, float]]) -> int:
     return count
 
 
-def measure_protocol_costs(protocol: str, workers: int = 1) -> MeasuredCosts:
-    """Run one distributed CREATE under ``protocol`` and count costs.
+def fold_span_costs(root: Span, workers: int = 1) -> CostRow:
+    """Fold one transaction's span tree into a Table I cost row.
 
-    Uses a dedicated two-server cluster with the directory pinned on
-    mds1 and the inode forced to mds2, so the operation is guaranteed
-    to be a two-MDS distributed transaction.
+    ``root`` is the coordinator span; its worker legs are traversed via
+    the parent/child links, so every WAL force and protocol message of
+    the transaction — on any node — is accounted.
     """
-    from repro.harness.scenarios import distributed_create_cluster
-
-    cluster, client = distributed_create_cluster(protocol)
-    done = cluster.sim.process(client.create("/dir1/f0"), name="measure")
-    cluster.sim.run(until=done)
-    cluster.sim.run()  # drain trailing protocol activity (ACKs, GC)
-    trace = cluster.trace
-
-    txn_done = trace.select("txn_done")
-    if len(txn_done) != 1:
-        raise RuntimeError(f"expected one transaction, saw {len(txn_done)}")
-    txn_id = txn_done[0].get("txn")
-    reply_time = trace.select("client_reply", txn=txn_id)[0].time
-
-    appends = trace.select("log_append", txn=txn_id)
-    durables = {
-        (r.actor, r.get("kind"), r.get("sync")): r.time
-        for r in trace.select("log_durable", txn=txn_id)
-    }
+    events = sorted(root.iter_events(), key=lambda e: e.time)
+    reply_times = [e.time for e in events if e.kind == EventKind.CLIENT_REPLY]
+    if not reply_times:
+        raise ValueError(f"span of txn {root.txn_id} has no client_reply event")
+    reply_time = reply_times[0]
 
     # Forced appends are one force() call each; group multi-record
-    # forces by (actor, time).
+    # forces by (actor, time).  Durable completions are matched by
+    # (actor, record kind, sync flag).
     sync_groups: dict[tuple[str, float], list] = {}
     async_groups: dict[tuple[str, float], list] = {}
-    for rec in appends:
-        target = sync_groups if rec.get("sync") else async_groups
-        target.setdefault((rec.actor, rec.time), []).append(rec)
+    durables: dict[tuple[str, str, bool], float] = {}
+    sends = []
+    for event in events:
+        if event.kind == EventKind.WAL_APPEND:
+            target = sync_groups if event.get("sync") else async_groups
+            target.setdefault((event.actor, event.time), []).append(event)
+        elif event.kind == EventKind.WAL_DURABLE:
+            durables[(event.actor, event.get("kind"), bool(event.get("sync")))] = event.time
+        elif event.kind == EventKind.MSG_SEND and event.get("kind") in PROTOCOL_MSG_KINDS:
+            sends.append(event)
 
     sync_total = len(sync_groups)
     async_total = len(async_groups)
 
     sync_intervals = []
-    for (actor, start), recs in sync_groups.items():
-        ends = [
-            durables.get((actor, r.get("kind"), True), float("inf")) for r in recs
-        ]
+    for (actor, start), evs in sync_groups.items():
+        ends = [durables.get((actor, e.get("kind"), True), float("inf")) for e in evs]
         end = max(ends)
         if end <= reply_time:
             sync_intervals.append((start, end))
     sync_critical = _disjoint_interval_count(sync_intervals)
     async_critical = sum(1 for (_a, t) in async_groups if t <= reply_time)
 
-    sends = [
-        r
-        for r in trace.select("msg_send", txn=txn_id)
-        if r.get("kind") in _PROTOCOL_KINDS
-    ]
     msgs_total = len(sends) - BASE_MESSAGES * workers
     # Strictly before the reply: a COMMIT fired in the same instant as
     # the client reply is already off the critical path (PrC/EP reply
     # first, then forward the decision).
     msgs_critical = (
-        sum(1 for r in sends if r.time < reply_time) - BASE_MESSAGES * workers
+        sum(1 for e in sends if e.time < reply_time) - BASE_MESSAGES * workers
     )
 
-    row = CostRow(
+    return CostRow(
         sync_total=sync_total,
         async_total=async_total,
         sync_critical=sync_critical,
@@ -162,5 +140,27 @@ def measure_protocol_costs(protocol: str, workers: int = 1) -> MeasuredCosts:
         msgs_total=msgs_total,
         msgs_critical=max(0, msgs_critical),
     )
-    outcome = [o for o in cluster.outcomes if o.txn_id == txn_id][0]
-    return MeasuredCosts(row=row, client_latency=outcome.client_latency, txn_id=txn_id)
+
+
+def measure_protocol_costs(protocol: str, workers: int = 1) -> MeasuredCosts:
+    """Run one distributed CREATE under ``protocol`` and count costs.
+
+    Uses a dedicated two-server cluster with the directory pinned on
+    mds1 and the inode forced to mds2, so the operation is guaranteed
+    to be a two-MDS distributed transaction.  The counts are folded
+    from the transaction's span (``cluster.obs.spans``).
+    """
+    from repro.harness.scenarios import distributed_create_cluster
+
+    cluster, client = distributed_create_cluster(protocol)
+    done = cluster.sim.process(client.create("/dir1/f0"), name="measure")
+    cluster.sim.run(until=done)
+    cluster.sim.run()  # drain trailing protocol activity (ACKs, GC)
+
+    roots = cluster.obs.spans.roots()
+    if len(roots) != 1:
+        raise RuntimeError(f"expected one transaction, saw {len(roots)}")
+    root = roots[0]
+    row = fold_span_costs(root, workers=workers)
+    outcome = [o for o in cluster.outcomes if o.txn_id == root.txn_id][0]
+    return MeasuredCosts(row=row, client_latency=outcome.client_latency, txn_id=root.txn_id)

@@ -22,7 +22,10 @@ def throughput(outcomes: Sequence[TxnOutcome], committed_only: bool = True) -> f
     start = min(o.submitted_at for o in pool)
     end = max(o.replied_at for o in pool)
     if end <= start:
-        return math.inf
+        # Degenerate window (every outcome shares one timestamp): there
+        # is no elapsed time to divide by, so report zero rather than
+        # infinity leaking into downstream tables.
+        return 0.0
     return len(pool) / (end - start)
 
 

@@ -234,7 +234,6 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 def _cmd_torture(args: argparse.Namespace) -> int:
     from repro.faults import random_fault_plan
-    from repro.fs import check_invariants
     from repro.harness.scenarios import distributed_create_cluster
 
     failures = 0
@@ -257,15 +256,45 @@ def _cmd_torture(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.analysis.traceio import dump_trace
-    from repro.harness.scenarios import distributed_create_cluster
+    """Run one trace-enabled Figure-6 burst cell and export its spans.
 
-    cluster, client = distributed_create_cluster(args.protocol)
-    done = cluster.sim.process(client.create("/dir1/f0"), name="trace")
-    cluster.sim.run(until=done)
-    cluster.sim.run(until=cluster.sim.now + 60.0)
-    count = dump_trace(cluster.trace, args.out)
-    print(f"wrote {count} trace records to {args.out}")
+    The run goes through the executor (same runner as ``repro sweep
+    --kind figure6``) so the exported timeline is exactly one cell of
+    the headline experiment, just with observability switched on.
+    """
+    from repro.exec import RunSpec, execute_spec
+    from repro.obs import dump_spans, write_chrome_trace
+
+    spec = RunSpec(
+        kind="burst", protocol=args.protocol, n=args.n, seed=args.seed, trace=True
+    )
+    cell = execute_spec(spec, keep_cluster=True)
+    cluster = cell.payload.cluster
+    # Close anything still open (crashed/abandoned legs) so exporters
+    # see only finished spans.
+    cluster.obs.spans.close_open()
+
+    if args.format == "records":
+        from repro.analysis.traceio import dump_trace
+
+        count = dump_trace(cluster.trace, args.out)
+        print(f"wrote {count} trace records to {args.out}")
+    elif args.format == "chrome":
+        with open(args.out, "w", encoding="utf-8") as fp:
+            doc = write_chrome_trace(cluster.obs.spans, fp, protocol=args.protocol)
+        print(
+            f"wrote {len(doc['traceEvents'])} trace events to {args.out} "
+            f"(open in Perfetto / chrome://tracing)"
+        )
+    else:
+        roots = cluster.obs.spans.roots()
+        with open(args.out, "w", encoding="utf-8") as fp:
+            count = dump_spans(roots, fp)
+        print(f"wrote {count} transaction spans to {args.out}")
+    print(
+        f"{args.protocol} n={args.n}: {cell.committed} committed, "
+        f"{cell.throughput:.1f} tx/s"
+    )
     return 0
 
 
@@ -344,8 +373,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", type=int, default=3)
     p.set_defaults(func=_cmd_torture)
 
-    p = sub.add_parser("trace", help="dump a distributed CREATE's trace as JSONL")
+    p = sub.add_parser(
+        "trace", help="run one trace-enabled Figure-6 cell and export it"
+    )
     p.add_argument("--protocol", choices=PROTOCOLS, default="1PC")
+    p.add_argument("--n", type=int, default=30, help="burst size")
+    p.add_argument("--seed", type=int, default=0, help="base seed for the cell")
+    p.add_argument(
+        "--format",
+        choices=["spans", "chrome", "records"],
+        default="spans",
+        help="spans = JSONL span dump, chrome = trace_event JSON "
+        "(Perfetto), records = legacy flat trace log",
+    )
     p.add_argument("--out", default="trace.jsonl")
     p.set_defaults(func=_cmd_trace)
 

@@ -163,14 +163,14 @@ class OnePhaseCommitProtocol(Protocol):
             if msg is not None:
                 return msg
             if heartbeats_on and detector.suspects(self.me, worker):
-                self.trace.emit(
+                self.obs.annotate(
                     "early_suspicion", self.me, txn=txn_id, worker=worker
                 )
                 return None
 
     def _probe_worker(self, txn_id: int, worker: str) -> Generator:
         """Fence the worker and read its shared log (§III-C case 2)."""
-        self.trace.emit("probe_start", self.me, txn=txn_id, worker=worker)
+        self.obs.annotate("probe_start", self.me, txn=txn_id, worker=worker)
         result = yield from probe_worker_log(self.server.cluster, self.me, worker, txn_id)
         return result.committed
 
@@ -242,7 +242,7 @@ class OnePhaseCommitProtocol(Protocol):
                 # everything locally.
                 self.store.abort(txn_id)
                 self.locks.release_all(txn_id)
-                self.trace.emit("worker_fenced_mid_commit", self.me, txn=txn_id)
+                self.obs.annotate("worker_fenced_mid_commit", self.me, txn=txn_id)
                 return None
             self.store.commit_durable(txn_id)
             self.locks.release_all(txn_id)
@@ -275,7 +275,7 @@ class OnePhaseCommitProtocol(Protocol):
             )
             if msg is None:
                 if asked:
-                    self.trace.emit("worker_unfinalized", self.me, txn=txn_id)
+                    self.obs.annotate("worker_unfinalized", self.me, txn=txn_id)
                     return
                 # §III-C: ask the coordinator to resend the ACKNOWLEDGE.
                 self.send(coordinator, MsgKind.ACK_REQ, txn_id)
@@ -313,7 +313,7 @@ class OnePhaseCommitProtocol(Protocol):
             # beginning" using the redo record.
             plan = self._plan_from_redo(records)
             if plan is None:
-                self.trace.emit("recovery", self.me, txn=txn_id, action="redo-missing")
+                self.obs.annotate("recovery", self.me, txn=txn_id, action="redo-missing")
                 return
             yield from self._re_execute(txn_id, plan)
         elif state == RecordKind.COMMITTED:
@@ -324,13 +324,13 @@ class OnePhaseCommitProtocol(Protocol):
                 yield from self._reapply_logged_updates(txn_id, records)
                 self.store.commit_durable(txn_id)
             self.wal.checkpoint(txn_id)
-            self.trace.emit("recovery", self.me, txn=txn_id, action="already-committed")
+            self.obs.annotate("recovery", self.me, txn=txn_id, action="already-committed")
         elif state == RecordKind.ABORTED:
             self.wal.checkpoint(txn_id)
 
     def _re_execute(self, txn_id: int, plan: OpPlan) -> Generator:
         """Redo-record replay: run the transaction again end to end."""
-        self.trace.emit("recovery", self.me, txn=txn_id, action="redo")
+        self.obs.annotate("recovery", self.me, txn=txn_id, action="redo")
         inbox = self.server.open_session(txn_id)
         try:
             try:
@@ -378,7 +378,7 @@ class OnePhaseCommitProtocol(Protocol):
             for worker in workers:
                 self.send(worker, MsgKind.ACK, txn_id)
             self.wal.checkpoint(txn_id)
-            self.trace.emit("recovery", self.me, txn=txn_id, action="redo-committed")
+            self.obs.annotate("recovery", self.me, txn=txn_id, action="redo-committed")
         finally:
             self.server.close_session(txn_id)
 
@@ -402,7 +402,7 @@ class OnePhaseCommitProtocol(Protocol):
                 )
                 if msg is not None:
                     self._finalize(txn_id)
-                self.trace.emit("recovery", self.me, txn=txn_id, action="ack-requested")
+                self.obs.annotate("recovery", self.me, txn=txn_id, action="ack-requested")
             finally:
                 self.server.close_session(txn_id)
         elif state == RecordKind.ENDED:

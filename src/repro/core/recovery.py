@@ -56,7 +56,7 @@ def probe_worker_log(cluster: "Cluster", requester: str, worker: str, txn_id: in
         r.txn_id == txn_id and r.kind in (RecordKind.COMMITTED, RecordKind.ENDED)
         for r in records
     )
-    cluster.trace.emit(
+    cluster.obs.annotate(
         "worker_probe", requester, worker=worker, txn=txn_id, committed=committed
     )
     return WorkerProbeResult(

@@ -64,8 +64,15 @@ def wal_totals(cluster: "Cluster") -> tuple[int, int]:
 def _run_burst_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
     from repro.workloads.burst import run_burst
 
-    result = run_burst(spec.protocol, n=spec.n, params=spec.seeded_params(), op=spec.op)
+    result = run_burst(
+        spec.protocol,
+        n=spec.n,
+        params=spec.seeded_params(),
+        op=spec.op,
+        trace=spec.trace,
+    )
     forced, lazy = wal_totals(result.cluster)
+    metrics = result.cluster.obs.metrics.snapshot() if spec.trace else None
     payload = result if keep_cluster else replace(result, cluster=None)
     return CellResult(
         spec=spec,
@@ -77,6 +84,7 @@ def _run_burst_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
         latency=result.latency,
         forced_writes=forced,
         lazy_writes=lazy,
+        metrics=metrics,
         payload=payload,
     )
 

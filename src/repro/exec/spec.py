@@ -50,6 +50,10 @@ class RunSpec:
     seed: int = 0
     point: Point = None
     params: Optional[SimulationParams] = None
+    #: Enable the observability layer (spans + metrics + trace log) for
+    #: this run.  Off by default: long sweeps stay lean, and a
+    #: trace-enabled run is the explicit exception (``repro trace``).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -72,7 +76,7 @@ class RunSpec:
 
     def to_dict(self) -> dict[str, Any]:
         """Canonical plain-data form (used for identity and JSON)."""
-        return {
+        doc = {
             "kind": self.kind,
             "protocol": self.protocol,
             "n": self.n,
@@ -83,6 +87,12 @@ class RunSpec:
             "point": self.point,
             "params": asdict(self.effective_params),
         }
+        # Tracing is observational only — it must not perturb the
+        # derived seed (and with it every committed baseline), so the
+        # field enters the identity only when actually enabled.
+        if self.trace:
+            doc["trace"] = True
+        return doc
 
     def identity(self) -> str:
         """Canonical JSON identity — stable across processes and runs."""
@@ -129,6 +139,8 @@ class CellResult:
     latency: Optional[Any] = None  # LatencyStats, kept loose for pickling
     forced_writes: int = 0
     lazy_writes: int = 0
+    #: Metrics-registry snapshot of the run (trace-enabled runs only).
+    metrics: Optional[dict[str, Any]] = None
     payload: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
@@ -144,7 +156,7 @@ class CellResult:
                 "p95": self.latency.p95,
                 "p99": self.latency.p99,
             }
-        return {
+        doc = {
             "spec": self.spec.to_dict(),
             "derived_seed": self.derived_seed,
             "committed": self.committed,
@@ -155,3 +167,8 @@ class CellResult:
             "forced_writes": self.forced_writes,
             "lazy_writes": self.lazy_writes,
         }
+        # Only trace-enabled cells carry metrics; keeping the key out
+        # otherwise leaves the committed baseline documents unchanged.
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics
+        return doc

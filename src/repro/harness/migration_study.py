@@ -87,7 +87,7 @@ def _build(params: Optional[SimulationParams], inode_home: str):
         server_names=["mds1", "mds2"],
         placement=placement,
         params=params,
-        trace_enabled=False,
+        trace=False,
     )
     cluster.mkdir("/hot")
     return cluster, cluster.new_client()

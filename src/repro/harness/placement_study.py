@@ -61,7 +61,7 @@ def run_placement_point(
         server_names=SERVERS,
         placement=placement,
         params=params,
-        trace_enabled=False,
+        trace=False,
     )
     for d in DIRS:
         cluster.mkdir(d)

@@ -76,7 +76,7 @@ def run_scaling_cell(
         server_names=names,
         placement=placement,
         params=params,
-        trace_enabled=False,
+        trace=False,
     )
     clients = []
     for d in range(1, n_pairs + 1):

@@ -39,7 +39,7 @@ class ForcedDistributedPlacement:
 def distributed_create_cluster(
     protocol: str,
     params: Optional[SimulationParams] = None,
-    trace_enabled: bool = True,
+    trace: bool = True,
 ) -> tuple[Cluster, Client]:
     """A two-server cluster where every CREATE is distributed.
 
@@ -51,7 +51,7 @@ def distributed_create_cluster(
         server_names=["mds1", "mds2"],
         params=params,
         placement=ForcedDistributedPlacement("mds1", "mds2"),
-        trace_enabled=trace_enabled,
+        trace=trace,
     )
     cluster.mkdir("/dir1")
     client = cluster.new_client()
@@ -61,8 +61,8 @@ def distributed_create_cluster(
 def burst_cluster(
     protocol: str,
     params: Optional[SimulationParams] = None,
-    trace_enabled: bool = False,
+    trace: bool = False,
 ) -> tuple[Cluster, Client]:
     """Cluster configured for throughput runs (tracing off by default
     to keep long simulations lean)."""
-    return distributed_create_cluster(protocol, params=params, trace_enabled=trace_enabled)
+    return distributed_create_cluster(protocol, params=params, trace=trace)

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 from collections import deque
 from enum import Enum
-from typing import Generator, Hashable, Optional
+from typing import TYPE_CHECKING, Generator, Hashable, Optional
 
 from repro.sim import AnyOf, Event, Simulator, TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.hub import Observability
 
 
 class LockMode(str, Enum):
@@ -61,10 +64,19 @@ class _LockEntry:
 class LockManager:
     """Per-MDS strict-2PL lock table."""
 
-    def __init__(self, sim: Simulator, name: str = "lockmgr", trace: TraceLog | None = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "lockmgr",
+        trace: TraceLog | None = None,
+        obs: "Observability | None" = None,
+    ):
+        from repro.obs.hub import Observability
+
         self.sim = sim
         self.name = name
-        self.trace = trace if trace is not None else TraceLog(sim, enabled=False)
+        self.obs = Observability.adopt(sim, obs, trace)
+        self.trace = self.obs.trace
         self._table: dict[Hashable, _LockEntry] = {}
 
     # -- introspection ----------------------------------------------------------
@@ -127,14 +139,14 @@ class LockManager:
             # Upgrade S -> X.
             if self._grantable(entry, txn_id, mode):
                 entry.holders[txn_id] = LockMode.EXCLUSIVE
-                self.trace.emit("lock_upgrade", self.name, txn=txn_id, obj=obj_id)
+                self.obs.lock_upgrade(self.name, txn=txn_id, obj=obj_id)
                 return True
             return False
         if entry.queue:
             return False
         if self._grantable(entry, txn_id, mode):
             entry.holders[txn_id] = mode
-            self.trace.emit("lock_grant", self.name, txn=txn_id, obj=obj_id, mode=mode.value)
+            self.obs.lock_grant(self.name, txn=txn_id, obj=obj_id, mode=mode.value)
             return True
         return False
 
@@ -151,7 +163,7 @@ class LockManager:
         entry = self._entry(obj_id)
         waiter = _Waiter(self.sim, txn_id, mode)
         entry.queue.append(waiter)
-        self.trace.emit("lock_wait", self.name, txn=txn_id, obj=obj_id, mode=mode.value)
+        self.obs.lock_wait(self.name, txn=txn_id, obj=obj_id, mode=mode.value)
         if timeout is None:
             yield waiter.event
             return None
@@ -165,7 +177,7 @@ class LockManager:
         except ValueError:  # pragma: no cover - granted in same instant
             pass
         self._dispatch(obj_id)
-        self.trace.emit("lock_timeout", self.name, txn=txn_id, obj=obj_id)
+        self.obs.lock_timeout(self.name, txn=txn_id, obj=obj_id)
         raise LockTimeout(txn_id, obj_id)
 
     # -- release ----------------------------------------------------------------------
@@ -175,7 +187,7 @@ class LockManager:
         if entry is None or txn_id not in entry.holders:
             raise KeyError(f"txn {txn_id} does not hold a lock on {obj_id!r}")
         del entry.holders[txn_id]
-        self.trace.emit("lock_release", self.name, txn=txn_id, obj=obj_id)
+        self.obs.lock_release(self.name, txn=txn_id, obj=obj_id)
         self._dispatch(obj_id)
 
     def release_all(self, txn_id: Hashable) -> int:
@@ -186,7 +198,7 @@ class LockManager:
             if txn_id in entry.holders:
                 del entry.holders[txn_id]
                 released += 1
-                self.trace.emit("lock_release", self.name, txn=txn_id, obj=obj_id)
+                self.obs.lock_release(self.name, txn=txn_id, obj=obj_id)
                 self._dispatch(obj_id)
             # Also withdraw any queued request by this transaction.
             for waiter in [w for w in entry.queue if w.txn_id == txn_id]:
@@ -211,8 +223,8 @@ class LockManager:
                 entry.holders[waiter.txn_id] = LockMode.EXCLUSIVE
             elif held is None:
                 entry.holders[waiter.txn_id] = waiter.mode
-            self.trace.emit(
-                "lock_grant", self.name, txn=waiter.txn_id, obj=obj_id, mode=waiter.mode.value
+            self.obs.lock_grant(
+                self.name, txn=waiter.txn_id, obj=obj_id, mode=waiter.mode.value
             )
             waiter.event.succeed()
             if waiter.mode is LockMode.EXCLUSIVE:

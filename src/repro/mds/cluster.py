@@ -17,11 +17,17 @@ Typical use::
     cluster.sim.process(scenario(cluster.sim))
     cluster.sim.run()
     assert cluster.check_invariants() == []
+
+Constructor arguments are keyword-only; the old positional signature
+(and the old ``trace_enabled=`` spelling) still work but emit a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import warnings
 from typing import Iterable, Optional, Sequence
 
 import repro.core  # noqa: F401  (registers the 1PC protocol)
@@ -34,9 +40,10 @@ from repro.mds.client import Client
 from repro.mds.heartbeat import FailureDetector, HeartbeatService
 from repro.mds.server import MDSServer
 from repro.net import Network
+from repro.obs import Observability
 from repro.protocols import PROTOCOLS
 from repro.protocols.base import TxnOutcome
-from repro.sim import RngRegistry, Simulator, TraceLog
+from repro.sim import RngRegistry, Simulator
 from repro.storage import (
     PersistentReservationDriver,
     ResourceFencingDriver,
@@ -46,31 +53,110 @@ from repro.storage import (
 
 FENCING_DRIVERS = ("stonith", "resource", "scsi")
 
+_UNSET = object()
+
+#: The pre-redesign positional parameter order, for the shim.
+_LEGACY_POSITIONAL = (
+    "protocol",
+    "server_names",
+    "params",
+    "placement",
+    "fallback",
+    "fencing",
+    "heartbeats",
+    "trace",
+)
+
+_DEFAULTS = {
+    "protocol": "1PC",
+    "server_names": ("mds1", "mds2"),
+    "params": None,
+    "placement": None,
+    "fallback": "PrN",
+    "fencing": "stonith",
+    "heartbeats": False,
+    "trace": True,
+}
+
 
 class Cluster:
     """A simulated metadata-server cluster."""
 
     def __init__(
         self,
-        protocol: str = "1PC",
-        server_names: Sequence[str] = ("mds1", "mds2"),
-        params: Optional[SimulationParams] = None,
-        placement: Optional[PlacementPolicy] = None,
-        fallback: Optional[str] = "PrN",
-        fencing: str = "stonith",
-        heartbeats: bool = False,
-        trace_enabled: bool = True,
+        *args,
+        protocol: str = _UNSET,  # type: ignore[assignment]
+        server_names: Sequence[str] = _UNSET,  # type: ignore[assignment]
+        params: Optional[SimulationParams] = _UNSET,  # type: ignore[assignment]
+        placement: Optional[PlacementPolicy] = _UNSET,  # type: ignore[assignment]
+        fallback: Optional[str] = _UNSET,  # type: ignore[assignment]
+        fencing: str = _UNSET,  # type: ignore[assignment]
+        heartbeats: bool = _UNSET,  # type: ignore[assignment]
+        trace: bool = _UNSET,  # type: ignore[assignment]
+        seed: Optional[int] = None,
+        trace_enabled: bool = _UNSET,  # type: ignore[assignment]
     ):
+        kw = {
+            "protocol": protocol,
+            "server_names": server_names,
+            "params": params,
+            "placement": placement,
+            "fallback": fallback,
+            "fencing": fencing,
+            "heartbeats": heartbeats,
+            "trace": trace,
+        }
+        if trace_enabled is not _UNSET:
+            warnings.warn(
+                "Cluster(trace_enabled=...) is deprecated; use trace=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if kw["trace"] is not _UNSET:
+                raise TypeError("got both 'trace' and deprecated 'trace_enabled'")
+            kw["trace"] = trace_enabled
+        if args:
+            warnings.warn(
+                "positional Cluster(...) arguments are deprecated; "
+                "pass keyword arguments (protocol=..., server_names=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(_LEGACY_POSITIONAL):
+                raise TypeError(
+                    f"Cluster() takes at most {len(_LEGACY_POSITIONAL)} "
+                    f"positional arguments ({len(args)} given)"
+                )
+            for name, value in zip(_LEGACY_POSITIONAL, args):
+                if kw[name] is not _UNSET:
+                    raise TypeError(f"Cluster() got multiple values for argument {name!r}")
+                kw[name] = value
+        for name, default in _DEFAULTS.items():
+            if kw[name] is _UNSET:
+                kw[name] = default
+        protocol = kw["protocol"]
+        server_names = kw["server_names"]
+        params = kw["params"]
+        placement = kw["placement"]
+        fallback = kw["fallback"]
+        fencing = kw["fencing"]
+        heartbeats = kw["heartbeats"]
+        trace = kw["trace"]
+
         if protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}; have {sorted(PROTOCOLS)}")
         if fencing not in FENCING_DRIVERS:
             raise ValueError(f"unknown fencing driver {fencing!r}; have {FENCING_DRIVERS}")
         self.protocol_name = protocol
         self.params = params or SimulationParams.paper_defaults()
+        if seed is not None:
+            self.params = dataclasses.replace(self.params, seed=seed)
         self.sim = Simulator()
-        self.trace = TraceLog(self.sim, enabled=trace_enabled)
+        #: The observability hub: legacy trace log + spans + metrics.
+        self.obs = Observability(self.sim, enabled=trace)
+        self.trace = self.obs.trace
         self.rng = RngRegistry(self.params.seed)
-        self.network = Network(self.sim, self.params.network, trace=self.trace, rng=self.rng)
+        self.network = Network(self.sim, self.params.network, rng=self.rng, obs=self.obs)
         # The 1PC architecture keeps every log on central storage; the
         # 2PC family traditionally uses per-node devices.  The device
         # *model* is identical either way (see StorageParams); shared
@@ -79,7 +165,7 @@ class Cluster:
             self.sim,
             self.params.storage,
             shared_device=(protocol == "1PC"),
-            trace=self.trace,
+            obs=self.obs,
         )
         self.failure_detector = FailureDetector(
             self.sim,
@@ -120,6 +206,28 @@ class Cluster:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+
+    @classmethod
+    def from_params(
+        cls, params: SimulationParams, *, protocol: str = "1PC", **kwargs
+    ) -> "Cluster":
+        """Build a cluster from a :class:`SimulationParams` bundle.
+
+        The facade entry point: ``Cluster.from_params(params,
+        protocol="1PC", server_names=[...])``.  All remaining keyword
+        arguments are forwarded to the constructor.
+        """
+        return cls(protocol=protocol, params=params, **kwargs)
+
+    @property
+    def spans(self):
+        """The span collector (``repro.trace(cluster)`` facade target)."""
+        return self.obs.spans
+
+    @property
+    def metrics(self):
+        """The metrics registry (``repro.metrics(cluster)`` facade target)."""
+        return self.obs.metrics
 
     def _make_fencing_driver(self, kind: str):
         delay = self.params.failure.fencing_delay
@@ -184,7 +292,7 @@ class Cluster:
         return [o for o in self.outcomes if o.committed]
 
     def new_client(self, name: Optional[str] = None) -> Client:
-        return Client(self, name)
+        return Client(self, name=name)
 
     # ------------------------------------------------------------------
     # Namespace bootstrap and reads

@@ -49,10 +49,11 @@ class MDSServer:
         self.sim = cluster.sim
         self.name = name
         self.params = cluster.params
+        self.obs = cluster.obs
         self.trace = cluster.trace
         self.endpoint = cluster.network.attach(name)
         self.wal = cluster.storage.provision(name)
-        self.locks = LockManager(self.sim, name=f"locks:{name}", trace=self.trace)
+        self.locks = LockManager(self.sim, name=f"locks:{name}", obs=self.obs)
         self.store = cluster.store_of(name)
         self.protocol: Protocol = protocol_cls(self)
         #: Engine used when an operation exceeds the primary protocol's
@@ -81,7 +82,8 @@ class MDSServer:
         return self._sessions.get(txn_id)
 
     def close_session(self, txn_id: int) -> None:
-        self._sessions.pop(txn_id, None)
+        if self._sessions.pop(txn_id, None) is not None:
+            self.obs.worker_close(self.name, txn_id)
 
     # ------------------------------------------------------------------
     # Process tracking (so a crash can kill everything at this node)
@@ -130,6 +132,9 @@ class MDSServer:
         engine = self._engine_for(msg)
         if msg.kind in SESSION_OPENERS:
             session = self.open_session(msg.txn_id)
+            self.obs.worker_open(
+                self.name, msg.txn_id, opener=msg.kind, protocol=engine.name
+            )
             self.spawn(
                 engine.worker_session(msg, session),
                 name=f"worker:{self.name}:{msg.txn_id}",
@@ -171,14 +176,17 @@ class MDSServer:
             and self.fallback is not None
         ):
             engine = self.fallback
-            self.trace.emit(
-                "fallback_protocol",
-                self.name,
-                txn=txn.txn_id,
-                op=plan.op,
-                workers=len(plan.workers),
+            self.obs.txn_fallback(
+                self.name, txn.txn_id, op=plan.op, workers=len(plan.workers)
             )
-        self.trace.emit("txn_start", self.name, txn=txn.txn_id, op=plan.op, protocol=engine.name)
+        self.obs.txn_start(
+            self.name,
+            txn.txn_id,
+            op=plan.op,
+            protocol=engine.name,
+            submitted_at=txn.submitted_at,
+            client=txn.client,
+        )
         self.spawn(self._run_coordinator(engine, txn), name=f"coord:{self.name}:{txn.txn_id}")
 
     def _serve_stat(self, msg: Message) -> Generator:
@@ -234,7 +242,7 @@ class MDSServer:
         if self.crashed:
             return
         self.crashed = True
-        self.trace.emit("crash", self.name)
+        self.obs.node_crash(self.name)
         if self._dispatcher is not None:
             self._dispatcher.kill()
             self._dispatcher = None
@@ -247,7 +255,7 @@ class MDSServer:
         self.wal.crash()
         self.store.crash()
         # The in-memory lock table vanishes with the node.
-        self.locks = LockManager(self.sim, name=f"locks:{self.name}", trace=self.trace)
+        self.locks = LockManager(self.sim, name=f"locks:{self.name}", obs=self.obs)
 
     def restart(self) -> None:
         """Reboot: reattach, restart the log, recover, then serve."""
@@ -255,7 +263,7 @@ class MDSServer:
             raise RuntimeError(f"{self.name} is not crashed")
         self.crashed = False
         self.recovering = True
-        self.trace.emit("restart", self.name)
+        self.obs.node_restart(self.name)
         self.cluster.network.attach(self.name)
         self.wal.restart()
         # A rebooted node re-registers with the storage fabric.
@@ -274,4 +282,4 @@ class MDSServer:
             buffered, self._buffered_requests = self._buffered_requests, []
             for msg in buffered:
                 self._start_coordinator(msg)
-        self.trace.emit("recovered", self.name)
+        self.obs.node_recovered(self.name)

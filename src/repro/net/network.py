@@ -10,7 +10,7 @@ from repro.net.message import Message
 from repro.sim import RngRegistry, Simulator, TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from repro.obs.hub import Observability
 
 
 class Network:
@@ -36,10 +36,14 @@ class Network:
         params: NetworkParams | None = None,
         trace: TraceLog | None = None,
         rng: RngRegistry | None = None,
+        obs: "Observability | None" = None,
     ):
+        from repro.obs.hub import Observability
+
         self.sim = sim
         self.params = params or NetworkParams()
-        self.trace = trace if trace is not None else TraceLog(sim, enabled=False)
+        self.obs = Observability.adopt(sim, obs, trace)
+        self.trace = self.obs.trace
         self.rng = rng or RngRegistry(0)
         self._endpoints: dict[str, Endpoint] = {}
         #: Current partition groups; empty means fully connected.
@@ -142,11 +146,10 @@ class Network:
         src_ep = self._endpoints.get(message.src)
         if src_ep is not None and not src_ep.attached:
             # A crashed node cannot transmit.
-            self.trace.emit("msg_drop", message.src, reason="sender_down", kind=message.kind)
+            self.obs.msg_drop(message.src, reason="sender_down", kind=message.kind)
             return
         if not self.connected(message.src, message.dst):
-            self.trace.emit(
-                "msg_drop",
+            self.obs.msg_drop(
                 message.src,
                 reason="partitioned",
                 kind=message.kind,
@@ -158,8 +161,7 @@ class Network:
         delay = self.params.latency + self.params.byte_cost * message.size
         if self.params.jitter:
             delay += self.rng.uniform("net.jitter", 0.0, self.params.jitter)
-        self.trace.emit(
-            "msg_send",
+        self.obs.msg_send(
             message.src,
             kind=message.kind,
             dst=message.dst,
@@ -172,15 +174,14 @@ class Network:
     def _deliver(self, message: Message) -> None:
         endpoint = self._endpoints[message.dst]
         if not endpoint.attached:
-            self.trace.emit("msg_drop", message.dst, reason="receiver_down", kind=message.kind)
+            self.obs.msg_drop(message.dst, reason="receiver_down", kind=message.kind)
             return
         # Re-check connectivity at arrival time: a partition that formed
         # while the message was in flight severs it.
         if not self.connected(message.src, message.dst):
-            self.trace.emit("msg_drop", message.dst, reason="partitioned", kind=message.kind)
+            self.obs.msg_drop(message.dst, reason="partitioned", kind=message.kind)
             return
-        self.trace.emit(
-            "msg_recv",
+        self.obs.msg_recv(
             message.dst,
             kind=message.kind,
             src=message.src,

@@ -1,0 +1,145 @@
+"""Metrics registry: counters and simulated-time histograms.
+
+Protocols and the MDS server report structured measurements here via
+the :class:`~repro.obs.hub.Observability` hooks instead of writing
+trace strings.  The registry is cheap enough to leave on for every run:
+a counter bump is one dict lookup + one add, and the whole registry is
+a no-op when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.analysis.metrics import percentile
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Histogram:
+    """A distribution of observations (simulated-time values)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self.total / len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return max(self.values)
+
+    def quantile(self, pct: float) -> float:
+        """Interpolated percentile of the observations."""
+        return percentile(sorted(self.values), pct)
+
+    def summary(self) -> dict[str, float]:
+        """Plain-data summary (for exporters and run results)."""
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(50.0),
+            "p95": self.quantile(95.0),
+            "p99": self.quantile(99.0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Bump counter ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    def get_counter(self, name: str) -> Optional[Counter]:
+        return self._counters.get(name)
+
+    def get_histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data view of every metric, sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }

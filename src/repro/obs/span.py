@@ -1,0 +1,276 @@
+"""Transaction spans: the structured unit of the observability layer.
+
+A :class:`Span` covers one leg of a distributed transaction — the
+coordinator's end-to-end run, or one worker's participation — from the
+moment the leg opens until its session closes.  Spans accumulate typed
+:class:`SpanEvent` entries (message send/recv, WAL force, lock traffic,
+crash/fence) stamped with simulated time, and carry parent/child links
+so a coordinator span owns its worker legs.
+
+This is the native abstraction Gray & Lamport's *Consensus on
+Transaction Commit* frames commit protocols in: per-transaction message
+and stable-write complexity.  The analysis layer folds spans directly
+into Table I counts instead of string-matching flat trace categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+
+#: Wire kinds that belong to a commit protocol (client traffic and
+#: heartbeats excluded) — the messages Table I counts.
+PROTOCOL_MSG_KINDS = frozenset(
+    {
+        "UPDATE_REQ",
+        "UPDATED",
+        "PREPARE",
+        "PREPARED",
+        "NOT_PREPARED",
+        "COMMIT",
+        "ABORT",
+        "ACK",
+        "DECISION_REQ",
+        "ACK_REQ",
+    }
+)
+
+
+class EventKind:
+    """Typed span-event kinds (stable strings, exported verbatim)."""
+
+    MSG_SEND = "msg_send"
+    MSG_RECV = "msg_recv"
+    MSG_DROP = "msg_drop"
+    WAL_APPEND = "wal_append"
+    WAL_DURABLE = "wal_durable"
+    LOCK_GRANT = "lock_grant"
+    LOCK_WAIT = "lock_wait"
+    LOCK_TIMEOUT = "lock_timeout"
+    LOCK_RELEASE = "lock_release"
+    CLIENT_REPLY = "client_reply"
+    CRASH = "crash"
+    RESTART = "restart"
+    FENCE = "fence"
+    UNFENCE = "unfence"
+    ANNOTATION = "annotation"
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One typed, timestamped observation inside a span."""
+
+    time: float
+    kind: str
+    actor: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+
+#: Span roles.
+COORDINATOR = "coordinator"
+WORKER = "worker"
+
+#: Span statuses.
+OPEN = "open"
+COMMITTED = "committed"
+ABORTED = "aborted"
+UNCLOSED = "unclosed"
+
+
+@dataclass
+class Span:
+    """One leg of a transaction, with typed events and child links."""
+
+    span_id: int
+    txn_id: int
+    name: str
+    role: str
+    actor: str
+    start: float
+    protocol: str = ""
+    parent_id: Optional[int] = None
+    end: Optional[float] = None
+    status: str = OPEN
+    attrs: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def add(self, event: SpanEvent) -> None:
+        self.events.append(event)
+
+    def last_time(self) -> float:
+        """Latest timestamp the span knows about (for open-span export)."""
+        latest = self.start if self.end is None else self.end
+        for event in self.events:
+            if event.time > latest:
+                latest = event.time
+        for child in self.children:
+            t = child.last_time()
+            if t > latest:
+                latest = t
+        return latest
+
+    def iter_events(self, recurse: bool = True) -> Iterator[SpanEvent]:
+        """Events of this span (and, by default, its descendants)."""
+        yield from self.events
+        if recurse:
+            for child in self.children:
+                yield from child.iter_events(recurse=True)
+
+
+class SpanCollector:
+    """Owns every span of a simulation run.
+
+    Indexing: one *root* (coordinator) span per transaction plus one
+    child span per ``(txn_id, worker)`` leg.  The collector is the
+    store behind ``repro.trace(cluster)``.
+    """
+
+    def __init__(self, sim: "Simulator", enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        #: Cluster-scope events with no owning transaction (crash,
+        #: fence, partitions...), kept for the exporters.
+        self.cluster_events: list[SpanEvent] = []
+        self._next_id = 0
+        self._roots: dict[int, Span] = {}
+        self._legs: dict[tuple[int, str], Span] = {}
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(
+        self,
+        txn_id: int,
+        *,
+        name: str,
+        role: str,
+        actor: str,
+        protocol: str = "",
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """Open a span; returns ``None`` when collection is disabled.
+
+        Re-opening an existing leg (duplicate UPDATE_REQ after a crash,
+        coordinator re-execution) returns the original span so its
+        history stays in one place.
+        """
+        if not self.enabled:
+            return None
+        if role == COORDINATOR and txn_id in self._roots:
+            return self._roots[txn_id]
+        if role == WORKER and (txn_id, actor) in self._legs:
+            return self._legs[(txn_id, actor)]
+        self._next_id += 1
+        span = Span(
+            span_id=self._next_id,
+            txn_id=txn_id,
+            name=name,
+            role=role,
+            actor=actor,
+            start=self.sim.now,
+            protocol=protocol,
+            parent_id=parent.span_id if parent else None,
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        if role == WORKER:
+            self._legs[(txn_id, actor)] = span
+            root = parent or self._roots.get(txn_id)
+            if root is not None:
+                span.parent_id = root.span_id
+                root.children.append(span)
+        else:
+            self._roots[txn_id] = span
+        return span
+
+    def close(self, span: Span, status: str, **attrs: Any) -> None:
+        """Close ``span`` at the current simulated time."""
+        if span.end is not None:
+            return
+        span.end = self.sim.now
+        span.status = status
+        span.attrs.update(attrs)
+
+    def close_open(self, status: str = UNCLOSED) -> list[Span]:
+        """Close every still-open span (e.g. at simulation end).
+
+        A transaction cut short by a crash leaves its span open; the
+        exporters call this so such spans still render with a bounded
+        duration.  Returns the spans that were closed.
+        """
+        closed = []
+        for span in self.spans:
+            if span.end is None:
+                span.end = max(self.sim.now, span.last_time())
+                span.status = status
+                closed.append(span)
+        return closed
+
+    # -- event routing ------------------------------------------------------
+
+    def record(self, txn_id: Optional[int], event: SpanEvent) -> None:
+        """Attach ``event`` to the span owning ``(txn, event.actor)``.
+
+        Falls back to the transaction's root span when the actor has no
+        leg of its own; events with no transaction (or no span) go to
+        the cluster-scope list.
+        """
+        if not self.enabled:
+            return
+        if txn_id is not None:
+            leg = self._legs.get((txn_id, event.actor))
+            if leg is not None:
+                leg.add(event)
+                return
+            root = self._roots.get(txn_id)
+            if root is not None:
+                root.add(event)
+                return
+        self.cluster_events.append(event)
+
+    # -- queries ------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Coordinator spans, in open order."""
+        return [s for s in self.spans if s.role == COORDINATOR]
+
+    def span_of(self, txn_id: int) -> Optional[Span]:
+        """The coordinator span of ``txn_id``."""
+        return self._roots.get(txn_id)
+
+    def leg_of(self, txn_id: int, actor: str) -> Optional[Span]:
+        """The worker leg of ``txn_id`` at ``actor``."""
+        return self._legs.get((txn_id, actor))
+
+    def open_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.end is None]
+
+    def events_of(self, txn_id: int) -> list[SpanEvent]:
+        """All events of a transaction (root + legs), in time order."""
+        root = self._roots.get(txn_id)
+        if root is None:
+            return []
+        return sorted(root.iter_events(), key=lambda e: e.time)

@@ -154,6 +154,10 @@ class Protocol:
     def trace(self):
         return self.server.trace
 
+    @property
+    def obs(self):
+        return self.server.obs
+
     # -- log-record construction ------------------------------------------------
 
     def state_rec(self, kind: RecordKind, txn_id: int, **payload) -> LogRecord:
@@ -267,9 +271,7 @@ class Protocol:
             reason=reason,
             req_id=txn.req_id,
         )
-        self.trace.emit(
-            "client_reply", self.me, txn=txn.txn_id, committed=committed, op=txn.plan.op
-        )
+        self.obs.client_reply(self.me, txn.txn_id, committed=committed, op=txn.plan.op)
         return self.sim.now
 
     def decode_updates(self, payload: dict) -> list[Update]:
@@ -293,13 +295,14 @@ class Protocol:
             coordinator=self.me,
             reason=reason,
         )
-        self.trace.emit(
-            "txn_done",
+        self.obs.txn_done(
             self.me,
-            txn=txn.txn_id,
+            txn.txn_id,
             committed=committed,
             op=txn.plan.op,
             latency=out.client_latency,
+            replied_at=replied_at,
+            reason=reason,
         )
         return out
 

@@ -130,7 +130,7 @@ class EarlyPrepareProtocol(PresumeCommitProtocol):
 
             msg = yield from self._await_decision(txn_id, coordinator, inbox)
             if msg is None:
-                self.trace.emit("worker_blocked", self.me, txn=txn_id)
+                self.obs.annotate("worker_blocked", self.me, txn=txn_id)
                 return None
             if msg.kind == MsgKind.ABORT:
                 yield from self._worker_abort(txn_id, coordinator, ack=True)

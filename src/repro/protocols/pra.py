@@ -77,6 +77,6 @@ class PresumedAbortProtocol(PresumeNothingProtocol):
             # Crashed before preparing: just forget — workers presume
             # the abort when they ask.
             self.wal.checkpoint(txn_id)
-            self.trace.emit("recovery", self.me, txn=txn_id, action="presume-abort")
+            self.obs.annotate("recovery", self.me, txn=txn_id, action="presume-abort")
             return
         yield from super()._recover_coordinator(txn_id, state, records)

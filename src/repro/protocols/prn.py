@@ -209,7 +209,7 @@ class PresumeNothingProtocol(Protocol):
                 return True
             for worker in sorted(pending):
                 self.send(worker, kind, txn_id)
-        self.trace.emit(
+        self.obs.annotate(
             "ack_gave_up", self.me, txn=txn_id, missing=sorted(pending), decision=kind
         )
         return False
@@ -271,7 +271,7 @@ class PresumeNothingProtocol(Protocol):
             # Decision.
             msg = yield from self._await_decision(txn_id, coordinator, inbox)
             if msg is None:
-                self.trace.emit("worker_blocked", self.me, txn=txn_id)
+                self.obs.annotate("worker_blocked", self.me, txn=txn_id)
                 return None
             if msg.kind == MsgKind.ABORT:
                 yield from self._worker_abort(txn_id, coordinator, ack=True)
@@ -416,7 +416,7 @@ class PresumeNothingProtocol(Protocol):
                     )
                 if acked:
                     self.wal.checkpoint(txn_id)
-                self.trace.emit("recovery", self.me, txn=txn_id, action="abort")
+                self.obs.annotate("recovery", self.me, txn=txn_id, action="abort")
             elif state == RecordKind.PREPARED:
                 # "The coordinator resubmits the PREPARE request to the
                 # worker and continues with the normal protocol
@@ -438,19 +438,19 @@ class PresumeNothingProtocol(Protocol):
                         )
                     if acked:
                         self.wal.checkpoint(txn_id)
-                    self.trace.emit("recovery", self.me, txn=txn_id, action="abort-after-vote")
+                    self.obs.annotate("recovery", self.me, txn=txn_id, action="abort-after-vote")
                     return
                 yield from self.wal.force(self.state_rec(RecordKind.COMMITTED, txn_id))
                 self.store.commit_durable(txn_id)
                 yield from self._finish_commit(workers, txn_id, inbox)
-                self.trace.emit("recovery", self.me, txn=txn_id, action="resume-commit")
+                self.obs.annotate("recovery", self.me, txn=txn_id, action="resume-commit")
             elif state == RecordKind.COMMITTED:
                 # "The coordinator resends the COMMIT request."
                 if not self.store.has_applied(txn_id):
                     yield from self._reapply_logged_updates(txn_id, records)
                     self.store.commit_durable(txn_id)
                 yield from self._finish_commit(workers, txn_id, inbox)
-                self.trace.emit("recovery", self.me, txn=txn_id, action="resend-commit")
+                self.obs.annotate("recovery", self.me, txn=txn_id, action="resend-commit")
             elif state == RecordKind.ABORTED:
                 for worker in workers:
                     self.send(worker, MsgKind.ABORT, txn_id)
@@ -461,7 +461,7 @@ class PresumeNothingProtocol(Protocol):
                     )
                 if acked:
                     self.wal.checkpoint(txn_id)
-                self.trace.emit("recovery", self.me, txn=txn_id, action="resend-abort")
+                self.obs.annotate("recovery", self.me, txn=txn_id, action="resend-abort")
         finally:
             self.server.close_session(txn_id)
 
@@ -485,7 +485,7 @@ class PresumeNothingProtocol(Protocol):
             inbox = self.server.open_session(txn_id)
             try:
                 if coordinator is None:
-                    self.trace.emit("recovery", self.me, txn=txn_id, action="no-coordinator")
+                    self.obs.annotate("recovery", self.me, txn=txn_id, action="no-coordinator")
                     return
                 msg = None
                 interval = self.params.failure.reply_timeout * (ACK_RETRIES + 1)
@@ -499,7 +499,7 @@ class PresumeNothingProtocol(Protocol):
                     if msg is not None:
                         break
                 if msg is None:
-                    self.trace.emit("recovery", self.me, txn=txn_id, action="still-blocked")
+                    self.obs.annotate("recovery", self.me, txn=txn_id, action="still-blocked")
                     return
                 if msg.kind == MsgKind.COMMIT:
                     yield from self._worker_commit(txn_id)
@@ -508,7 +508,7 @@ class PresumeNothingProtocol(Protocol):
                 else:
                     yield from self._worker_abort(txn_id, coordinator, ack=True)
                 self.wal.checkpoint(txn_id)
-                self.trace.emit("recovery", self.me, txn=txn_id, action="worker-resolved")
+                self.obs.annotate("recovery", self.me, txn=txn_id, action="worker-resolved")
             finally:
                 self.server.close_session(txn_id)
         elif state == RecordKind.COMMITTED:
@@ -520,7 +520,7 @@ class PresumeNothingProtocol(Protocol):
                 yield from self._reapply_logged_updates(txn_id, records)
                 self.store.commit_durable(txn_id)
             self.wal.checkpoint(txn_id)
-            self.trace.emit("recovery", self.me, txn=txn_id, action="worker-done")
+            self.obs.annotate("recovery", self.me, txn=txn_id, action="worker-done")
         elif state == RecordKind.ABORTED:
             self.wal.checkpoint(txn_id)
 

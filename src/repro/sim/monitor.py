@@ -3,9 +3,13 @@
 ``TraceLog`` is the statistics module of the simulated cluster (the
 paper's ACID Sim Tools has a dedicated ``statistics`` module).  Every
 subsystem emits :class:`TraceRecord` entries tagged with a category
-(``msg``, ``log_write``, ``lock``, ``txn``, ``crash``...) which the
-analysis layer later folds into Table I counts, timelines and
-throughput figures.
+(``msg``, ``log_write``, ``lock``, ``txn``, ``crash``...).
+
+The flat log is the *legacy* surface: golden-trace tests, fault
+triggers and the ASCII timeline renderer read it.  Structured analysis
+(Table I folding, metrics, exporters) goes through the transaction
+spans in :mod:`repro.obs`, which the :class:`~repro.obs.hub.Observability`
+hub populates alongside this log from the same instrumentation calls.
 """
 
 from __future__ import annotations
@@ -76,6 +80,20 @@ class TraceLog:
 
     def count(self, category: Optional[str] = None, **detail_filters: Any) -> int:
         return len(self.select(category=category, **detail_filters))
+
+    def categories(self) -> dict[str, int]:
+        """Category -> record count, sorted by category."""
+        counts: dict[str, int] = {}
+        for rec in self.records:
+            counts[rec.category] = counts.get(rec.category, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def clear(self) -> int:
+        """Drop all records (e.g. after a warm-up phase); returns how
+        many were dropped."""
+        dropped = len(self.records)
+        self.records.clear()
+        return dropped
 
 
 class Monitor:

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Callable, Generator, Protocol
 from repro.sim import Simulator, TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from repro.obs.hub import Observability
 
 
 class FencedError(Exception):
@@ -37,21 +37,28 @@ class FencedError(Exception):
 class FencingController:
     """Authoritative record of which nodes are cut off from storage."""
 
-    def __init__(self, trace: TraceLog | None = None):
+    def __init__(
+        self, trace: TraceLog | None = None, obs: "Observability | None" = None
+    ):
         self._fenced: set[str] = set()
-        self.trace = trace
+        self.obs = obs
+        self.trace = obs.trace if obs is not None else trace
 
     def is_fenced(self, node: str) -> bool:
         return node in self._fenced
 
     def fence(self, node: str, by: str = "?") -> None:
         self._fenced.add(node)
-        if self.trace is not None:
+        if self.obs is not None:
+            self.obs.fence(by, target=node)
+        elif self.trace is not None:
             self.trace.emit("fence", by, target=node)
 
     def unfence(self, node: str, by: str = "?") -> None:
         self._fenced.discard(node)
-        if self.trace is not None:
+        if self.obs is not None:
+            self.obs.unfence(by, target=node)
+        elif self.trace is not None:
             self.trace.emit("unfence", by, target=node)
 
     @property

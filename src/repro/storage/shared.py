@@ -16,13 +16,16 @@ Two layouts are supported:
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.config import StorageParams
 from repro.sim import Simulator, TraceLog
 from repro.storage.disk import Disk
 from repro.storage.fencing import FencedError, FencingController
 from repro.storage.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.hub import Observability
 
 
 class SharedStorage:
@@ -34,12 +37,16 @@ class SharedStorage:
         params: StorageParams | None = None,
         shared_device: bool = True,
         trace: TraceLog | None = None,
+        obs: "Observability | None" = None,
     ):
+        from repro.obs.hub import Observability
+
         self.sim = sim
         self.params = params or StorageParams()
         self.shared_device = shared_device
-        self.trace = trace if trace is not None else TraceLog(sim, enabled=False)
-        self.fencing = FencingController(trace=self.trace)
+        self.obs = Observability.adopt(sim, obs, trace)
+        self.trace = self.obs.trace
+        self.fencing = FencingController(obs=self.obs)
         self._logs: dict[str, WriteAheadLog] = {}
         self._disks: dict[str, Disk] = {}
         self._shared_disk: Optional[Disk] = None
@@ -72,7 +79,7 @@ class SharedStorage:
             self.sim,
             disk,
             owner=node,
-            trace=self.trace,
+            obs=self.obs,
             fencing=self.fencing,
             group_commit=self.params.group_commit,
             group_commit_max_bytes=self.params.group_commit_max_bytes,

@@ -30,7 +30,7 @@ from repro.storage.fencing import FencedError, FencingController
 from repro.storage.records import LogRecord, RecordKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from repro.obs.hub import Observability
 
 
 class _FlushJob:
@@ -56,11 +56,15 @@ class WriteAheadLog:
         fencing: FencingController | None = None,
         group_commit: bool = False,
         group_commit_max_bytes: float = 64 * 1024.0,
+        obs: "Observability | None" = None,
     ):
+        from repro.obs.hub import Observability
+
         self.sim = sim
         self.disk = disk
         self.owner = owner
-        self.trace = trace if trace is not None else TraceLog(sim, enabled=False)
+        self.obs = Observability.adopt(sim, obs, trace)
+        self.trace = self.obs.trace
         self.fencing = fencing
         #: Group commit: the flusher coalesces every queued append (up
         #: to ``group_commit_max_bytes``) into one device write, so
@@ -123,8 +127,7 @@ class WriteAheadLog:
                 self._lsn += 1
                 object.__setattr__(record, "lsn", self._lsn)
         for record in records:
-            self.trace.emit(
-                "log_append",
+            self.obs.log_append(
                 self.owner,
                 kind=str(record.kind),
                 txn=record.txn_id,
@@ -186,8 +189,7 @@ class WriteAheadLog:
                 self._queue.popleft()
                 self._durable.extend(job.records)
                 for record in job.records:
-                    self.trace.emit(
-                        "log_durable",
+                    self.obs.log_durable(
                         self.owner,
                         kind=str(record.kind),
                         txn=record.txn_id,
@@ -212,12 +214,12 @@ class WriteAheadLog:
             # Wake the old flusher so it observes the generation change
             # and exits.
             self._wakeup.succeed()
-        self.trace.emit("log_crash", self.owner, lost_jobs=len(lost))
+        self.obs.log_crash(self.owner, lost_jobs=len(lost))
 
     def restart(self) -> None:
         """Start a fresh flusher after a crash (log content unchanged)."""
         self._start_flusher()
-        self.trace.emit("log_restart", self.owner)
+        self.obs.log_restart(self.owner)
 
     # -- read path -------------------------------------------------------------------
 
@@ -272,7 +274,7 @@ class WriteAheadLog:
         before = len(self._durable)
         self._durable = [r for r in self._durable if r.txn_id != txn_id]
         if len(self._durable) != before:
-            self.trace.emit("log_gc", self.owner, txn=txn_id, removed=before - len(self._durable))
+            self.obs.log_gc(self.owner, txn=txn_id, removed=before - len(self._durable))
 
     def size_bytes(self) -> float:
         return sum(r.size for r in self._durable)

@@ -48,15 +48,18 @@ def run_burst(
     params: Optional[SimulationParams] = None,
     op: str = "create",
     virtual_time_budget: float = 3600.0,
+    trace: bool = False,
 ) -> BurstResult:
     """Submit ``n`` simultaneous distributed operations, run to completion.
 
     ``op`` is ``"create"`` or ``"delete"`` (deletes pre-create the
     files quietly first, then measure the burst of deletes).
+    ``trace`` turns the observability layer on (spans, metrics, trace
+    log — off by default to keep long simulations lean).
     """
     if op not in ("create", "delete"):
         raise ValueError(f"unsupported burst op {op!r}")
-    cluster, client = burst_cluster(protocol, params=params)
+    cluster, client = burst_cluster(protocol, params=params, trace=trace)
     sim = cluster.sim
     paths = [f"/dir1/f{i}" for i in range(n)]
 

@@ -37,8 +37,11 @@ def test_throughput_empty_is_zero():
     assert throughput([]) == 0.0
 
 
-def test_throughput_instantaneous_is_inf():
-    assert math.isinf(throughput([outcome(1, 0.0, 0.0)]))
+def test_throughput_degenerate_window_is_zero():
+    # All outcomes at one timestamp: no elapsed time, so zero — not inf
+    # (regression: this used to return math.inf).
+    assert throughput([outcome(1, 0.0, 0.0)]) == 0.0
+    assert not math.isinf(throughput([outcome(1, 5.0, 5.0), outcome(2, 5.0, 5.0)]))
 
 
 def test_percentile_values():

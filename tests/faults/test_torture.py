@@ -15,7 +15,7 @@ from repro.harness.scenarios import distributed_create_cluster
 
 
 def run_torture(protocol, seed, n_ops=12, n_faults=3):
-    cluster, client = distributed_create_cluster(protocol, trace_enabled=True)
+    cluster, client = distributed_create_cluster(protocol, trace=True)
     plan = random_fault_plan(
         seed,
         nodes=["mds1", "mds2"],
@@ -73,7 +73,7 @@ def test_torture_heavy_faults(protocol, seed):
 
 def run_torture_mixed(protocol, seed, n_faults=3):
     """Mixed mkdir/create/delete/rmdir stream under random faults."""
-    cluster, client = distributed_create_cluster(protocol, trace_enabled=True)
+    cluster, client = distributed_create_cluster(protocol, trace=True)
     plan = random_fault_plan(seed, nodes=["mds1", "mds2"], horizon=0.15, n_faults=n_faults)
     plan.install(cluster)
 

@@ -1,0 +1,113 @@
+"""The redesigned constructor surface and its backwards-compat shims."""
+
+import warnings
+
+import pytest
+
+from repro import Cluster, SimulationParams
+from repro.mds.client import Client
+
+
+def test_keyword_construction_emits_no_warnings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        cluster = Cluster(protocol="1PC", server_names=["mds1", "mds2"], trace=False)
+    assert cluster.protocol_name == "1PC"
+
+
+def test_positional_arguments_still_work_with_warning():
+    with pytest.warns(DeprecationWarning, match="positional"):
+        cluster = Cluster("PrC", ["mds1", "mds2", "mds3"])
+    assert cluster.protocol_name == "PrC"
+    assert sorted(cluster.servers) == ["mds1", "mds2", "mds3"]
+
+
+def test_positional_conflicting_with_keyword_rejected():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="multiple values"):
+            Cluster("1PC", protocol="PrN")
+
+
+def test_too_many_positional_arguments_rejected():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="at most"):
+            Cluster("1PC", ["a", "b"], None, None, "PrN", "stonith", False, True, "extra")
+
+
+def test_trace_enabled_spelling_still_works_with_warning():
+    with pytest.warns(DeprecationWarning, match="trace_enabled"):
+        cluster = Cluster(trace_enabled=False)
+    assert not cluster.obs.enabled
+    assert len(cluster.trace) == 0
+
+
+def test_trace_and_trace_enabled_together_rejected():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="both"):
+            Cluster(trace=True, trace_enabled=True)
+
+
+def test_seed_keyword_overrides_params_seed():
+    params = SimulationParams.paper_defaults()
+    cluster = Cluster(params=params, seed=1234, trace=False)
+    assert cluster.params.seed == 1234
+    # The original params object is untouched (frozen dataclass).
+    assert params.seed != 1234 or params.seed == 1234  # no mutation possible
+    assert Cluster(params=params, trace=False).params.seed == params.seed
+
+
+def test_from_params_builds_equivalent_cluster():
+    params = SimulationParams.paper_defaults()
+    cluster = Cluster.from_params(params, protocol="EP", server_names=["a", "b"])
+    assert cluster.protocol_name == "EP"
+    assert sorted(cluster.servers) == ["a", "b"]
+    assert cluster.params == params
+
+
+def test_cluster_exposes_spans_and_metrics_properties():
+    cluster = Cluster(trace=True)
+    assert cluster.spans is cluster.obs.spans
+    assert cluster.metrics is cluster.obs.metrics
+
+
+def test_client_keyword_name():
+    cluster = Cluster(trace=False)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        client = Client(cluster, name="c9")
+    assert client.name == "c9"
+
+
+def test_client_positional_name_warns():
+    cluster = Cluster(trace=False)
+    with pytest.warns(DeprecationWarning, match="positional"):
+        client = Client(cluster, "legacy")
+    assert client.name == "legacy"
+
+
+def test_client_positional_and_keyword_name_rejected():
+    cluster = Cluster(trace=False)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError):
+            Client(cluster, "a", name="b")
+
+
+def test_facade_trace_and_metrics_helpers():
+    import repro
+
+    cluster, client = _one_create_cluster()
+    spans = repro.trace(cluster)
+    assert len(spans) == 1 and spans[0].status == "committed"
+    snap = repro.metrics(cluster)
+    assert snap["counters"]["txn.committed"] == 1.0
+    assert snap["histograms"]["txn.client_latency"]["count"] == 1
+
+
+def _one_create_cluster():
+    from repro.harness.scenarios import distributed_create_cluster
+
+    cluster, client = distributed_create_cluster("1PC")
+    done = cluster.sim.process(client.create("/dir1/f0"), name="t")
+    cluster.sim.run(until=done)
+    cluster.sim.run(until=cluster.sim.now + 60.0)
+    return cluster, client

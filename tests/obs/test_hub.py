@@ -1,0 +1,128 @@
+"""Observability hub: fan-out, adoption rules, lifecycle semantics."""
+
+from repro.obs import EventKind, Observability
+from repro.sim import Simulator, TraceLog
+
+
+def hub():
+    return Observability(Simulator())
+
+
+def test_disabled_hub_records_nothing():
+    obs = Observability.disabled(Simulator())
+    assert not obs.enabled
+    obs.txn_start("mds1", 1, op="CREATE", protocol="1PC", submitted_at=0.0)
+    obs.msg_send("mds1", kind="UPDATE_REQ", dst="mds2", txn=1, msg_id=1)
+    obs.annotate("whatever", "mds1", txn=1)
+    obs.txn_done(
+        "mds1", 1, committed=True, op="CREATE", latency=0.1, replied_at=0.1
+    )
+    assert len(obs.trace) == 0
+    assert len(obs.spans) == 0
+    assert obs.metrics.snapshot() == {"counters": {}, "histograms": {}}
+
+
+def test_adopt_explicit_hub_wins():
+    sim = Simulator()
+    obs = Observability(sim)
+    assert Observability.adopt(sim, obs, TraceLog(sim)) is obs
+
+
+def test_adopt_bare_trace_keeps_legacy_records_only():
+    sim = Simulator()
+    trace = TraceLog(sim)
+    obs = Observability.adopt(sim, None, trace)
+    assert obs.trace is trace
+    assert not obs.spans.enabled and not obs.metrics.enabled
+    obs.msg_send("a", kind="UPDATE_REQ", dst="b", txn=1, msg_id=1)
+    assert trace.count("msg_send") == 1
+    assert len(obs.spans) == 0
+
+
+def test_adopt_neither_is_disabled():
+    sim = Simulator()
+    assert not Observability.adopt(sim, None, None).enabled
+
+
+def test_txn_lifecycle_emits_legacy_records_and_closes_root():
+    obs = hub()
+    root = obs.txn_start(
+        "mds1", 5, op="CREATE", protocol="1PC", submitted_at=0.0, client="c1"
+    )
+    obs.client_reply("mds1", 5, committed=True, op="CREATE")
+    obs.txn_done(
+        "mds1", 5, committed=True, op="CREATE", latency=0.2, replied_at=0.2
+    )
+    assert obs.trace.count("txn_start") == 1
+    assert obs.trace.count("client_reply") == 1
+    assert obs.trace.count("txn_done") == 1
+    assert root.closed and root.status == "committed"
+    assert root.attrs["replied_at"] == 0.2  # txn_done's authoritative value
+    assert obs.metrics.get_counter("txn.started").value == 1
+    assert obs.metrics.get_counter("txn.committed").value == 1
+    assert obs.metrics.get_histogram("txn.client_latency").count == 1
+
+
+def test_worker_leg_inherits_decided_outcome():
+    obs = hub()
+    obs.txn_start("mds1", 1, op="CREATE", protocol="1PC", submitted_at=0.0)
+    obs.worker_open("mds2", 1, opener="UPDATE_REQ", protocol="1PC")
+    obs.txn_done("mds1", 1, committed=True, op="CREATE", latency=0.1, replied_at=0.1)
+    # 1PC shape: the coordinator decides before the worker session closes.
+    obs.worker_close("mds2", 1)
+    assert obs.spans.leg_of(1, "mds2").status == "committed"
+
+
+def test_worker_leg_closed_before_decision_reads_closed():
+    obs = hub()
+    obs.txn_start("mds1", 1, op="CREATE", protocol="PrN", submitted_at=0.0)
+    obs.worker_open("mds2", 1, opener="PREPARE", protocol="PrN")
+    # 2PC shape: the worker ACKs and closes first.
+    obs.worker_close("mds2", 1)
+    assert obs.spans.leg_of(1, "mds2").status == "closed"
+
+
+def test_annotate_matches_legacy_emit_bytes():
+    """annotate() must produce the byte-identical legacy record."""
+    sim = Simulator()
+    obs = Observability(sim)
+    reference = TraceLog(sim)
+    obs.annotate("ack_gave_up", "mds2", txn=3, waited=0.5)
+    reference.emit("ack_gave_up", "mds2", txn=3, waited=0.5)
+    rec, ref = obs.trace.records[0], reference.records[0]
+    assert (rec.category, rec.actor, rec.detail) == (ref.category, ref.actor, ref.detail)
+    assert list(rec.detail) == list(ref.detail)  # kwargs order preserved
+    # The span side sees an annotation event tagged with the category.
+    events = obs.spans.cluster_events  # txn 3 has no span -> cluster scope
+    assert events[0].kind == EventKind.ANNOTATION
+    assert events[0].get("category") == "ack_gave_up"
+    assert "txn" not in events[0].attrs
+
+
+def test_lock_hold_time_histogram():
+    sim = Simulator()
+    obs = Observability(sim)
+    obs.lock_grant("locks:mds1", txn=1, obj="dentry:/d/f", mode="X")
+    sim.run(until=0.25)
+    obs.lock_release("locks:mds1", txn=1, obj="dentry:/d/f")
+    hist = obs.metrics.get_histogram("locks.hold_time")
+    assert hist.count == 1
+    assert hist.values[0] == 0.25
+    # Releasing an unknown lock does not observe anything.
+    obs.lock_release("locks:mds1", txn=9, obj="ghost")
+    assert hist.count == 1
+
+
+def test_txn_done_folds_span_into_per_txn_metrics():
+    obs = hub()
+    obs.txn_start("mds1", 1, op="CREATE", protocol="1PC", submitted_at=0.0)
+    obs.worker_open("mds2", 1, opener="UPDATE_REQ")
+    obs.log_append("mds1", kind="commit", txn=1, sync=True, nbytes=100)
+    obs.log_append("mds2", kind="redo", txn=1, sync=True, nbytes=100)
+    obs.log_append("mds2", kind="done", txn=1, sync=False, nbytes=10)
+    obs.msg_send("mds1", kind="UPDATE_REQ", dst="mds2", txn=1, msg_id=1)
+    obs.msg_send("mds1", kind="CLIENT_REPLY", dst="client1", txn=1, msg_id=2)
+    obs.txn_done("mds1", 1, committed=True, op="CREATE", latency=0.1, replied_at=0.1)
+    assert obs.metrics.get_histogram("txn.forced_writes").values == [2.0]
+    # Client traffic is not a protocol message.
+    assert obs.metrics.get_histogram("txn.messages").values == [1.0]

@@ -1,0 +1,117 @@
+"""Span and SpanCollector lifecycle unit tests."""
+
+from repro.obs import (
+    COORDINATOR,
+    UNCLOSED,
+    WORKER,
+    EventKind,
+    SpanCollector,
+    SpanEvent,
+)
+from repro.sim import Simulator
+
+
+def collector():
+    return SpanCollector(Simulator())
+
+
+def test_root_span_opens_and_closes():
+    spans = collector()
+    root = spans.begin(1, name="CREATE", role=COORDINATOR, actor="mds1", protocol="1PC")
+    assert root.txn_id == 1 and root.role == COORDINATOR
+    assert not root.closed and root.duration is None
+    spans.close(root, "committed", reason="")
+    assert root.closed and root.status == "committed"
+    assert spans.span_of(1) is root
+    assert spans.roots() == [root]
+
+
+def test_worker_leg_links_to_root():
+    spans = collector()
+    root = spans.begin(7, name="CREATE", role=COORDINATOR, actor="mds1")
+    leg = spans.begin(7, name="UPDATE_REQ", role=WORKER, actor="mds2")
+    assert leg.parent_id == root.span_id
+    assert root.children == [leg]
+    assert spans.leg_of(7, "mds2") is leg
+
+
+def test_reopening_a_leg_returns_the_original():
+    spans = collector()
+    spans.begin(1, name="CREATE", role=COORDINATOR, actor="mds1")
+    first = spans.begin(1, name="UPDATE_REQ", role=WORKER, actor="mds2")
+    again = spans.begin(1, name="UPDATE_REQ", role=WORKER, actor="mds2")
+    assert again is first
+    assert len(spans) == 2
+    # Same for the coordinator side.
+    assert spans.begin(1, name="CREATE", role=COORDINATOR, actor="mds1") is spans.span_of(1)
+
+
+def test_record_prefers_the_actors_leg_over_the_root():
+    spans = collector()
+    root = spans.begin(1, name="CREATE", role=COORDINATOR, actor="mds1")
+    leg = spans.begin(1, name="UPDATE_REQ", role=WORKER, actor="mds2")
+    spans.record(1, SpanEvent(0.0, EventKind.WAL_APPEND, "mds2", {"sync": True}))
+    spans.record(1, SpanEvent(0.0, EventKind.MSG_SEND, "mds1", {"kind": "UPDATE_REQ"}))
+    assert [e.kind for e in leg.events] == [EventKind.WAL_APPEND]
+    assert [e.kind for e in root.events] == [EventKind.MSG_SEND]
+    # iter_events recurses into the legs.
+    assert len(list(root.iter_events())) == 2
+    assert len(list(root.iter_events(recurse=False))) == 1
+
+
+def test_record_without_txn_goes_to_cluster_events():
+    spans = collector()
+    spans.record(None, SpanEvent(1.0, EventKind.CRASH, "mds2", {}))
+    spans.record(99, SpanEvent(2.0, EventKind.MSG_SEND, "mds1", {}))  # unknown txn
+    assert [e.kind for e in spans.cluster_events] == [EventKind.CRASH, EventKind.MSG_SEND]
+
+
+def test_disabled_collector_records_nothing():
+    spans = SpanCollector(Simulator(), enabled=False)
+    assert spans.begin(1, name="CREATE", role=COORDINATOR, actor="mds1") is None
+    spans.record(1, SpanEvent(0.0, EventKind.MSG_SEND, "mds1", {}))
+    assert len(spans) == 0 and spans.cluster_events == []
+
+
+def test_close_open_bounds_unclosed_spans():
+    """A transaction cut short (crash) leaves its span open; close_open
+    must close it at the latest known time with UNCLOSED status."""
+    sim = Simulator()
+    spans = SpanCollector(sim)
+    root = spans.begin(1, name="CREATE", role=COORDINATOR, actor="mds1")
+    root.add(SpanEvent(5.0, EventKind.MSG_SEND, "mds1", {}))
+    done = spans.begin(2, name="CREATE", role=COORDINATOR, actor="mds1")
+    spans.close(done, "committed")
+    closed = spans.close_open()
+    assert closed == [root]
+    assert root.status == UNCLOSED
+    assert root.end == 5.0  # last event time > sim.now == 0
+    assert spans.open_spans() == []
+    # Idempotent: nothing left to close.
+    assert spans.close_open() == []
+
+
+def test_close_is_idempotent():
+    spans = collector()
+    root = spans.begin(1, name="CREATE", role=COORDINATOR, actor="mds1")
+    spans.close(root, "committed")
+    spans.close(root, "aborted")  # ignored: already closed
+    assert root.status == "committed"
+
+
+def test_events_of_merges_legs_in_time_order():
+    spans = collector()
+    spans.begin(1, name="CREATE", role=COORDINATOR, actor="mds1")
+    spans.begin(1, name="UPDATE_REQ", role=WORKER, actor="mds2")
+    spans.record(1, SpanEvent(2.0, EventKind.WAL_APPEND, "mds2", {}))
+    spans.record(1, SpanEvent(1.0, EventKind.MSG_SEND, "mds1", {}))
+    assert [e.time for e in spans.events_of(1)] == [1.0, 2.0]
+    assert spans.events_of(42) == []
+
+
+def test_last_time_considers_children():
+    spans = collector()
+    root = spans.begin(1, name="CREATE", role=COORDINATOR, actor="mds1")
+    leg = spans.begin(1, name="UPDATE_REQ", role=WORKER, actor="mds2")
+    leg.add(SpanEvent(9.0, EventKind.WAL_APPEND, "mds2", {}))
+    assert root.last_time() == 9.0

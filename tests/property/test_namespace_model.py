@@ -121,7 +121,7 @@ def apply_real(cluster, client, op, path, dst=None):
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 def test_cluster_agrees_with_tree_model(script):
-    cluster, client = distributed_create_cluster("1PC", trace_enabled=False)
+    cluster, client = distributed_create_cluster("1PC", trace=False)
     model = TreeModel()
 
     for op, n1, n2 in script:

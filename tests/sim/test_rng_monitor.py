@@ -94,6 +94,29 @@ def test_tracelog_disabled_records_nothing():
     assert len(trace) == 0
 
 
+def test_tracelog_categories_counts_sorted():
+    sim = Simulator()
+    trace = TraceLog(sim)
+    trace.emit("msg", "a")
+    trace.emit("lock", "a")
+    trace.emit("msg", "b")
+    assert trace.categories() == {"lock": 1, "msg": 2}
+    assert list(trace.categories()) == ["lock", "msg"]
+
+
+def test_tracelog_clear_drops_everything():
+    sim = Simulator()
+    trace = TraceLog(sim)
+    for _ in range(4):
+        trace.emit("msg", "a")
+    assert trace.clear() == 4
+    assert len(trace) == 0 and trace.categories() == {}
+    assert trace.clear() == 0
+    # The log keeps accepting records after a clear (warm-up pattern).
+    trace.emit("msg", "a")
+    assert len(trace) == 1
+
+
 def test_tracelog_predicate_select():
     sim = Simulator()
     trace = TraceLog(sim)

@@ -113,6 +113,43 @@ def test_cli_sweep_scaling_table(capsys):
     assert "Scaling" in out and "1PC" in out
 
 
+def test_cli_trace_spans_jsonl(capsys, tmp_path):
+    out = tmp_path / "spans.jsonl"
+    code, text = run_cli(capsys, "trace", "--n", "4", "--out", str(out))
+    assert code == 0
+    assert "4 transaction spans" in text
+
+    import json
+
+    spans = [json.loads(line) for line in out.read_text().splitlines()]
+    assert len(spans) == 4
+    assert all(s["role"] == "coordinator" for s in spans)
+    assert all(s["status"] == "committed" for s in spans)
+
+
+def test_cli_trace_chrome_is_valid(capsys, tmp_path):
+    out = tmp_path / "chrome.json"
+    code, text = run_cli(capsys, "trace", "--protocol", "PrN", "--n", "4",
+                         "--format", "chrome", "--out", str(out))
+    assert code == 0
+    assert "Perfetto" in text
+
+    import json
+
+    from repro.obs import validate_trace_event
+
+    assert validate_trace_event(json.loads(out.read_text())) == []
+
+
+def test_cli_trace_records_legacy_format(capsys, tmp_path):
+    out = tmp_path / "records.jsonl"
+    code, text = run_cli(capsys, "trace", "--n", "3", "--format", "records",
+                         "--out", str(out))
+    assert code == 0
+    assert "trace records" in text
+    assert out.read_text().count("\n") > 10
+
+
 def test_cli_sweep_progress_reports_cells(capsys, tmp_path):
     code = main(["sweep", "--kind", "figure6", "--n", "6", "--progress"])
     captured = capsys.readouterr()
