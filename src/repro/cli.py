@@ -213,6 +213,12 @@ def _cmd_batching(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import cli as lint_cli
+
+    return lint_cli.run(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import generate_report
 
@@ -388,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default="trace.jsonl")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: determinism, coroutine-safety and "
+        "protocol-discipline rules (the CI gate)",
+    )
+    from repro.lint import cli as lint_cli
+
+    lint_cli.add_arguments(p)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("report", help="full reproduction report (all core artifacts)")
     p.add_argument("--n", type=int, default=100, help="Figure 6 burst size")

@@ -99,10 +99,13 @@ class BatchPlanner:
                 flush()
                 current.append(plan)
                 continue
-            workers = set()
+            # Insertion-ordered on purpose: a set here would put the
+            # batch boundary (and with it dispatch order) at the mercy
+            # of PYTHONHASHSEED if anything ever iterates it.
+            workers: dict[str, None] = {}
             for p in candidate:
-                workers.update(p.workers)
-            workers.discard(current[0].coordinator)
+                workers.update(dict.fromkeys(p.workers))
+            workers.pop(current[0].coordinator, None)
             if self.max_workers is not None and len(workers) > self.max_workers:
                 flush()
             current.append(plan)

@@ -30,7 +30,7 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence, cast
 
 from repro.exec.runners import execute_spec
 from repro.exec.spec import CellResult, RunSpec
@@ -46,7 +46,7 @@ class HostClock:
 
     @property
     def now(self) -> float:
-        return time.monotonic()
+        return time.monotonic()  # repro: noqa DET001 - wall-clock provenance
 
 
 @dataclass(frozen=True)
@@ -111,7 +111,7 @@ def _run_serial(
 ) -> list[CellResult]:
     results: list[CellResult] = []
     for index, spec in enumerate(specs):
-        started = time.monotonic()
+        started = time.monotonic()  # repro: noqa DET001 - wall-clock provenance
         try:
             cell = execute_spec(spec, keep_cluster=keep_clusters)
         except Exception as exc:
@@ -156,23 +156,24 @@ def _run_pooled(
                             f"spec {index} ({spec.describe()}) failed in worker:\n{payload}"
                         )
                     done += 1
-                    started = time.monotonic() - seconds
+                    started = time.monotonic() - seconds  # repro: noqa DET001 - wall-clock provenance
                     _report(index, spec, started, done, len(specs), progress, trace, monitor)
                     results[index] = payload
         finally:
             for future in pending:
                 future.cancel()
-    return list(results)  # type: ignore[arg-type]
+    # Every slot was filled above or we raised; narrow away the Optional.
+    return cast("list[CellResult]", list(results))
 
 
-def _pool_entry(index: int, spec: RunSpec):
+def _pool_entry(index: int, spec: RunSpec) -> "tuple[str, Any, float]":
     """Worker-side wrapper: never raises, so no exception must pickle."""
-    started = time.monotonic()
+    started = time.monotonic()  # repro: noqa DET001 - wall-clock provenance
     try:
         cell = execute_spec(spec, keep_cluster=False)
     except BaseException:
-        return "error", traceback.format_exc(), time.monotonic() - started
-    return "ok", cell, time.monotonic() - started
+        return "error", traceback.format_exc(), time.monotonic() - started  # repro: noqa DET001 - wall-clock provenance
+    return "ok", cell, time.monotonic() - started  # repro: noqa DET001 - wall-clock provenance
 
 
 def _report(
@@ -185,9 +186,9 @@ def _report(
     trace: Optional[TraceLog],
     monitor: Optional[Monitor],
 ) -> None:
-    seconds = time.monotonic() - started
+    seconds = time.monotonic() - started  # repro: noqa DET001 - wall-clock provenance
     if monitor is not None:
-        monitor.observe(time.monotonic(), seconds)
+        monitor.observe(time.monotonic(), seconds)  # repro: noqa DET001 - wall-clock provenance
     if trace is not None:
         trace.emit(
             "exec",

@@ -30,9 +30,13 @@ import json
 import subprocess
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
-from repro.exec.spec import CellResult
+from repro.exec.spec import CellResult, RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.executor import ProgressCallback
+    from repro.sim.monitor import TraceLog
 
 SCHEMA_VERSION = 1
 
@@ -63,7 +67,7 @@ class SweepResults:
     wall_time_s: float = 0.0
     git_rev: str = "unknown"
     created_at: str = field(
-        default_factory=lambda: datetime.now(timezone.utc).isoformat()
+        default_factory=lambda: datetime.now(timezone.utc).isoformat()  # repro: noqa DET001 - wall-clock provenance
     )
 
     def to_dict(self, canonical: bool = False) -> dict[str, Any]:
@@ -108,18 +112,24 @@ def cell_key(cell_dict: dict[str, Any]) -> str:
     return json.dumps(cell_dict["spec"], sort_keys=True, separators=(",", ":"))
 
 
-def run_sweep(specs, kind: str, workers: int = 1, progress=None, trace=None) -> SweepResults:
+def run_sweep(
+    specs: Iterable[RunSpec],
+    kind: str,
+    workers: int = 1,
+    progress: "Optional[ProgressCallback]" = None,
+    trace: "Optional[TraceLog]" = None,
+) -> SweepResults:
     """Execute a grid and wrap it with provenance for serialisation."""
     import time
 
     from repro.exec.executor import run_grid
 
-    started = time.monotonic()
+    started = time.monotonic()  # repro: noqa DET001 - wall-clock provenance
     cells = run_grid(specs, workers=workers, progress=progress, trace=trace)
     return SweepResults(
         kind=kind,
         cells=cells,
         workers=workers,
-        wall_time_s=time.monotonic() - started,
+        wall_time_s=time.monotonic() - started,  # repro: noqa DET001 - wall-clock provenance
         git_rev=git_revision(),
     )

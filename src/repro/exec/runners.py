@@ -15,12 +15,13 @@ imports keep that mutual dependency acyclic at import time.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.exec.spec import CellResult, RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mds.cluster import Cluster
+    from repro.sim.kernel import Simulator
 
 Runner = Callable[[RunSpec, bool], CellResult]
 
@@ -114,7 +115,7 @@ def _run_abort_burst_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
     # whenever the counter of started transactions crosses a multiple.
     armed = {"count": 0}
 
-    def arm_failures(sim):
+    def arm_failures(sim: "Simulator") -> Iterator[object]:
         while armed["count"] * fail_every < n if fail_every else False:
             target = armed["count"] * fail_every
             while len(cluster.outcomes) < target:

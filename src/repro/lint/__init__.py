@@ -1,0 +1,51 @@
+"""Static analysis for the reproduction (``repro lint``).
+
+The paper's evaluation rests on a deterministic, seedable simulation,
+and its correctness argument rests on a discipline the type system
+cannot see: a coordinator may read another MDS's shared log *only
+after fencing it* (§III).  This package enforces both statically, as a
+zero-new-findings CI gate:
+
+* **DET** — determinism: no wall-clock or unseeded global ``random``
+  in ``src/repro``; no iteration over unordered ``set``/``.keys()``
+  views in the event-ordering modules (``sim/``, ``net/``, ``locks/``,
+  ``core/``) unless wrapped in ``sorted()``.
+* **GEN** — coroutine safety: no blocking host calls inside simulation
+  generator processes, and no process-returning call whose generator
+  is silently dropped instead of being driven with ``yield from``.
+* **FENCE** — protocol discipline: ``read_remote_log(...,
+  require_fenced=False)`` stays confined to recovery internals and
+  tests, and every remote-log read must be dominated by a ``fence()``
+  in the same function.
+* **API** — no in-repo use of the deprecated positional
+  ``Cluster``/``Client`` signatures or the ``trace_enabled=`` spelling.
+* **OBS** — instrumentation hooks early-out on ``enabled`` before any
+  other work, keeping tracing near-zero-cost when off.
+
+Findings can be suppressed per line with ``# repro: noqa RULE-ID`` or
+grandfathered in a committed baseline file (see
+:mod:`repro.lint.baseline`).  ``docs/static-analysis.md`` holds the
+full rule catalog.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintReport, iter_python_files, lint_file, run_lint
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, get_rule
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,88 @@
+"""Committed baseline of grandfathered findings.
+
+The CI gate is *zero new findings*: everything the analyzer reports
+must either be fixed, suppressed with an inline pragma, or recorded in
+a reviewed, committed baseline file.  Matching is by ``(path, rule,
+message)`` — line numbers are stored for human reference only, so the
+baseline survives unrelated edits — and is multiset-aware: two
+identical findings need two baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+class Baseline:
+    """A multiset of grandfathered findings."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self._entries: list[Finding] = sorted(findings)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[Finding]:
+        return list(self._entries)
+
+    # -- persistence --------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        try:
+            doc = json.loads(file.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{file}: not valid JSON: {exc}") from exc
+        version = doc.get("version")
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"{file}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        return cls(Finding.from_dict(entry) for entry in doc.get("findings", []))
+
+    @classmethod
+    def write(cls, path: Union[str, Path], findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls(findings)
+        doc = {
+            "version": BASELINE_VERSION,
+            "findings": [finding.to_dict() for finding in baseline.entries],
+        }
+        Path(path).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return baseline
+
+    # -- matching -----------------------------------------------------------
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into ``(new, grandfathered)``."""
+        budget = Counter(entry.key for entry in self._entries)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in sorted(findings):
+            if budget.get(finding.key, 0) > 0:
+                budget[finding.key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old

@@ -1,0 +1,99 @@
+"""``repro lint`` — command-line front end for the analyzer."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, TextIO
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
+from repro.lint.engine import run_lint
+from repro.lint.registry import all_rules, select_rules
+from repro.lint.reporters import render_json, render_text
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` options to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json is the CI artifact form)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record all current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids or families to run (e.g. DET,FENCE002)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print baselined findings in text format",
+    )
+
+
+def _resolve_baseline(arg: Optional[str]) -> tuple[Optional[Path], Baseline]:
+    if arg is not None:
+        path = Path(arg)
+        return path, Baseline.load(path)
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.exists():
+        return default, Baseline.load(default)
+    return default, Baseline()
+
+
+def run(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    """Execute ``repro lint``; returns the process exit code."""
+    stream = out if out is not None else sys.stdout
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.summary}", file=stream)
+        return 0
+    try:
+        rules = (
+            select_rules(args.select.split(",")) if args.select else None
+        )
+        baseline_path, baseline = _resolve_baseline(args.baseline)
+        report = run_lint(args.paths, rules=rules, baseline=baseline)
+    except (FileNotFoundError, BaselineError, KeyError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = baseline_path if baseline_path is not None else Path(DEFAULT_BASELINE_NAME)
+        Baseline.write(target, [*report.findings, *report.baselined])
+        print(
+            f"wrote {len(report.findings) + len(report.baselined)} findings "
+            f"to {target}",
+            file=stream,
+        )
+        return 0
+    if args.format == "json":
+        stream.write(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose), file=stream)
+    return 0 if report.ok else 1

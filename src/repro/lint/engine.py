@@ -1,0 +1,112 @@
+"""The analyzer driver: collect files, run rules, apply pragmas/baseline."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.lint.baseline import Baseline
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules
+
+#: Rule id reported for files the parser rejects.
+SYNTAX_RULE = "SYN001"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = set(candidate.parts)
+                if parts & _SKIP_DIRS or any(
+                    part.endswith(".egg-info") for part in candidate.parts
+                ):
+                    continue
+                files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(files)
+
+
+def _display_path(path: Path, root: Optional[Path]) -> Path:
+    base = root or Path.cwd()
+    try:
+        return path.resolve().relative_to(base.resolve())
+    except ValueError:
+        return path
+
+
+def lint_file(
+    path: Union[str, Path],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> list[Finding]:
+    """All (pragma-filtered) findings of one file."""
+    file = Path(path)
+    source = file.read_text(encoding="utf-8")
+    display = _display_path(file, root)
+    try:
+        tree = ast.parse(source, filename=str(file))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display.as_posix(),
+                line=exc.lineno or 0,
+                col=(exc.offset or 0),
+                rule=SYNTAX_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(display, source, tree)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(ctx):
+            if not ctx.pragmas.suppresses(finding.line, finding.rule):
+                findings.append(finding)
+    return sorted(findings)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Gate condition: no findings beyond the baseline."""
+        return not self.findings
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return sorted([*self.findings, *self.baselined])
+
+
+def run_lint(
+    paths: Iterable[Union[str, Path]],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Union[str, Path]] = None,
+) -> LintReport:
+    """Lint ``paths`` and split findings against ``baseline``."""
+    base = Path(root) if root is not None else Path(os.getcwd())
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for file in files:
+        findings.extend(lint_file(file, rules=rules, root=base))
+    new, old = (baseline or Baseline()).split(findings)
+    return LintReport(findings=new, baselined=old, files_checked=len(files))

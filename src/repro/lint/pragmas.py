@@ -1,0 +1,88 @@
+"""Inline pragmas: per-line suppression and per-file directives.
+
+Two comment forms are recognised::
+
+    x = time.time()  # repro: noqa DET001
+    y = list(seen)   # repro: noqa DET003, GEN001
+    z = risky()      # repro: noqa
+
+A bare ``noqa`` suppresses every rule on that line; a rule *family*
+(``DET``) suppresses all of its members (``DET001``, ``DET003``...).
+
+A file-level directive lets a file be linted *as if* it lived at a
+different path — used by the test fixtures, which exercise
+path-scoped rules (e.g. "only in ``src/repro/sim``") from
+``tests/lint/fixtures``::
+
+    # repro: path src/repro/sim/fixture.py
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b\s*:?\s*(?P<codes>[A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)?"
+)
+_PATH_RE = re.compile(r"^#\s*repro:\s*path\s+(?P<path>\S+)\s*$")
+_FAMILY_RE = re.compile(r"^([A-Z]+)")
+
+
+def rule_family(rule: str) -> str:
+    """``DET003`` -> ``DET``; an all-letters token is its own family."""
+    match = _FAMILY_RE.match(rule)
+    return match.group(1) if match else rule
+
+
+class PragmaIndex:
+    """All ``# repro: noqa`` pragmas of one source file, by line."""
+
+    def __init__(self) -> None:
+        #: line number -> suppressed codes; ``None`` means "all rules".
+        self._by_line: dict[int, Optional[frozenset[str]]] = {}
+
+    @classmethod
+    def scan(cls, source: str) -> "PragmaIndex":
+        index = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "repro:" not in text:
+                continue
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                index._by_line[lineno] = None
+            else:
+                tokens = frozenset(
+                    token.strip() for token in codes.split(",") if token.strip()
+                )
+                existing = index._by_line.get(lineno)
+                if existing is None and lineno in index._by_line:
+                    continue  # bare noqa already covers everything
+                index._by_line[lineno] = tokens | (existing or frozenset())
+        return index
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        """Whether a pragma on ``line`` silences ``rule``."""
+        if line not in self._by_line:
+            return False
+        codes = self._by_line[line]
+        if codes is None:
+            return True
+        return rule in codes or rule_family(rule) in codes
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def virtual_path(source: str, max_lines: int = 5) -> Optional[str]:
+    """The ``# repro: path ...`` directive, if present in the header."""
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if lineno > max_lines:
+            break
+        match = _PATH_RE.match(text.strip())
+        if match is not None:
+            return match.group("path")
+    return None

@@ -1,0 +1,43 @@
+"""Text and JSON renderers for lint reports."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.engine import LintReport
+from repro.lint.registry import all_rules
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable report, one ``path:line:col RULE message`` per line."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location} {finding.rule} {finding.message}")
+    if verbose:
+        for finding in report.baselined:
+            lines.append(
+                f"{finding.location} {finding.rule} {finding.message} [baselined]"
+            )
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    summary = (
+        f"{len(report.findings)} new {noun}, {len(report.baselined)} baselined, "
+        f"{report.files_checked} files checked"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    doc: dict[str, Any] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "baselined": [finding.to_dict() for finding in report.baselined],
+        "rules": {rule.id: rule.summary for rule in all_rules()},
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,8 @@
+"""Built-in rule families.
+
+Importing this package registers every rule with the registry.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import api, det, fence, gen, obs  # noqa: F401

@@ -1,0 +1,81 @@
+"""API — deprecated-surface rules.
+
+PR 2 redesigned the construction API: ``Cluster``/``Client`` take
+keyword-only arguments, and ``trace_enabled=`` became ``trace=``.
+Compatibility shims keep the old spellings working for downstream
+users, but in-repo code must not lean on them — otherwise the shims
+can never be retired.  Tests of the shims themselves are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Modules that implement the deprecation shims (their internals are
+#: the one sanctioned use of the legacy spellings).
+_SHIM_MODULES = ("mds/cluster.py", "mds/client.py")
+
+#: class name -> number of positional arguments the modern signature
+#: still accepts.
+_POSITIONAL_BUDGET = {"Cluster": 0, "Client": 1}
+
+
+@register
+class PositionalConstructorRule(Rule):
+    id = "API001"
+    summary = "no deprecated positional Cluster(...)/Client(...) arguments"
+    rationale = (
+        "The keyword-only constructors are the supported surface; "
+        "in-repo positional calls would freeze the legacy parameter "
+        "order forever."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_tests or ctx.is_module(*_SHIM_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            budget = _POSITIONAL_BUDGET.get(dotted[-1])
+            if budget is None:
+                continue
+            if len(node.args) > budget:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"deprecated positional {dotted[-1]}(...) call with "
+                    f"{len(node.args)} positional arguments; pass keywords "
+                    f"(at most {budget} positional)",
+                )
+
+
+@register
+class TraceEnabledSpellingRule(Rule):
+    id = "API002"
+    summary = "no deprecated trace_enabled= keyword (use trace=)"
+    rationale = (
+        "trace_enabled= survives only as a DeprecationWarning shim for "
+        "external callers; in-repo use blocks its removal."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_tests or ctx.is_module(*_SHIM_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "trace_enabled":
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "deprecated trace_enabled= keyword; spell it trace=",
+                    )

@@ -1,0 +1,109 @@
+"""FENCE — protocol-discipline rules.
+
+§III of the paper: the 1PC coordinator cannot distinguish a crashed
+worker from a partitioned one, so before reading the worker's log
+partition it must *fence* the worker (STONITH / switch fencing /
+SCSI-3 reservation).  Reading an unfenced node's log recreates the
+split-brain hazard — cf. Gray & Lamport, "Consensus on Transaction
+Commit", where commit safety likewise hinges on who may read whose
+log.  These rules make the discipline structural.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext, walk_own
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: The only non-test module allowed to spell ``require_fenced=False``
+#: (it is the recovery implementation the escape hatch exists for).
+_RECOVERY_MODULES = ("core/recovery.py",)
+
+#: The module that *defines* read_remote_log (its own body is the
+#: enforcement point, not a caller).
+_DEFINING_MODULES = ("storage/shared.py",)
+
+#: Calls that establish (or verify) the fence dominating a read.
+_FENCE_CALLEES = frozenset({"fence", "is_fenced"})
+
+
+def _read_remote_log_calls(ctx: FileContext) -> Iterator[ast.Call]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.dotted_name(node.func)
+        if dotted is not None and dotted[-1] == "read_remote_log":
+            yield node
+
+
+@register
+class UnfencedEscapeHatchRule(Rule):
+    id = "FENCE001"
+    summary = "require_fenced=False is confined to core/recovery.py and tests"
+    rationale = (
+        "The unfenced read path exists only to demonstrate the "
+        "split-brain hazard in tests; production protocol code must "
+        "never opt out of the fencing check."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_tests or ctx.is_module(*_RECOVERY_MODULES):
+            return
+        for call in _read_remote_log_calls(ctx):
+            for keyword in call.keywords:
+                if (
+                    keyword.arg == "require_fenced"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    yield ctx.finding(
+                        call,
+                        self.id,
+                        "read_remote_log(..., require_fenced=False) outside "
+                        "core/recovery.py and tests recreates the split-brain "
+                        "hazard (§III)",
+                    )
+
+
+@register
+class UnfencedReadRule(Rule):
+    id = "FENCE002"
+    summary = "remote-log reads must be dominated by a fence() in the same function"
+    rationale = (
+        "A coordinator may mount another MDS's log partition only "
+        "after fencing it; statically, every read_remote_log call must "
+        "be preceded in its function by a fence()/is_fenced() call."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_tests or ctx.is_module(*_DEFINING_MODULES):
+            return
+        for call in _read_remote_log_calls(ctx):
+            fn = ctx.enclosing_function(call)
+            if fn is None:
+                yield ctx.finding(
+                    call,
+                    self.id,
+                    "read_remote_log(...) at module level cannot be fenced; "
+                    "move it into a recovery process",
+                )
+                continue
+            dominated = any(
+                isinstance(node, ast.Call)
+                and (dotted := ctx.dotted_name(node.func)) is not None
+                and dotted[-1] in _FENCE_CALLEES
+                and node.lineno <= call.lineno
+                and node is not call
+                for node in walk_own(fn)
+            )
+            if not dominated:
+                yield ctx.finding(
+                    call,
+                    self.id,
+                    f"read_remote_log(...) in {fn.name!r} is not preceded by a "
+                    "fence()/is_fenced() call in the same function (§III "
+                    "discipline: fence before reading a remote log)",
+                )

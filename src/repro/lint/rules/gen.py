@@ -1,0 +1,143 @@
+"""GEN — coroutine-safety rules.
+
+Simulation processes are generators driven by the deterministic
+kernel (:mod:`repro.sim.kernel`).  Two classes of bugs defeat them:
+
+* a *blocking host call* (``time.sleep``, real file/socket IO) inside
+  a process stalls the whole single-threaded kernel and couples the
+  run to the host environment;
+* a call to a *process-returning function* whose generator is dropped
+  on the floor — the body silently never executes (the classic
+  "forgot ``yield from``" bug).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext, is_generator, walk_own
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Calls that block on the host or do real IO: forbidden inside
+#: simulation generator processes.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "input",
+        "open",
+        "io.open",
+        "os.system",
+        "os.popen",
+        "socket.socket",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+    }
+)
+
+#: Known process-returning (generator) functions by dotted-name
+#: suffix.  One-part suffixes match any call spelled ``...name(...)``;
+#: two-part suffixes require the receiver attribute as well, so e.g.
+#: ``obs.fence`` (a plain hook) is not confused with
+#: ``fencing_driver.fence`` (a generator process).
+PROCESS_SUFFIXES: frozenset[tuple[str, ...]] = frozenset(
+    {
+        ("probe_worker_log",),
+        ("read_remote_log",),
+        ("lock_all",),
+        ("apply_updates",),
+        ("wal", "force"),
+        ("fencing_driver", "fence"),
+    }
+)
+
+#: Call targets that legitimately *consume* a generator besides
+#: ``yield from``: scheduling it as a kernel process.
+_CONSUMER_CALLEES = frozenset({"process", "run_all", "Process"})
+
+
+@register
+class BlockingCallRule(Rule):
+    id = "GEN001"
+    summary = "no blocking host calls (time.sleep, real IO) in generator processes"
+    rationale = (
+        "A simulation process must advance virtual time with "
+        "yield sim.timeout(...); a host sleep or real IO call blocks "
+        "the deterministic kernel and ties results to the machine."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_src:
+            return
+        for fn in ctx.functions():
+            if not is_generator(fn):
+                continue
+            for node in walk_own(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                qualified = ctx.qualified_name(node.func)
+                if qualified in BLOCKING_CALLS:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"blocking call {qualified}() inside generator process "
+                        f"{fn.name!r}; use sim.timeout()/simulated resources",
+                    )
+
+
+@register
+class DroppedProcessRule(Rule):
+    id = "GEN002"
+    summary = "process-returning calls must be driven with `yield from`"
+    rationale = (
+        "Calling a generator function only builds the generator; "
+        "without `yield from` (or sim.process(...)) its body — a WAL "
+        "force, a fencing action, a remote log read — never runs."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None or not _is_process_call(dotted):
+                continue
+            if _is_consumed(ctx, node):
+                continue
+            yield ctx.finding(
+                node,
+                self.id,
+                f"result of process-returning call {'.'.join(dotted)}(...) is "
+                "never yielded; drive it with `yield from` or sim.process(...)",
+            )
+
+
+def _is_process_call(dotted: tuple[str, ...]) -> bool:
+    for suffix in PROCESS_SUFFIXES:
+        if len(dotted) >= len(suffix) and tuple(dotted[-len(suffix) :]) == suffix:
+            return True
+    return False
+
+
+def _is_consumed(ctx: FileContext, call: ast.Call) -> bool:
+    """Whether the generator built by ``call`` is actually driven."""
+    parent = ctx.parent(call)
+    if isinstance(parent, (ast.YieldFrom, ast.Yield, ast.Await, ast.Return)):
+        # `yield from f(...)` drives it; `return f(...)` hands the
+        # generator to the caller to drive.
+        return True
+    if isinstance(parent, ast.Call) and parent.func is not call:
+        callee = ctx.dotted_name(parent.func)
+        if callee is not None and callee[-1] in _CONSUMER_CALLEES:
+            return True
+    return False

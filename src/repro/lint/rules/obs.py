@@ -1,0 +1,90 @@
+"""OBS — instrumentation-cost rules.
+
+PR 2's contract (docs/observability.md, and the CI smoke bench that
+gates it): with the hub disabled, tracing costs near zero.  That only
+holds if every public hook checks ``enabled`` *before* doing any other
+work — in particular before formatting strings or building attribute
+dictionaries for the sinks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.lint.context import FileContext, body_statements, walk_own
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: The sink attributes whose use marks a method as an emitting hook.
+_SINKS = frozenset({"trace", "spans", "metrics"})
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_exempt(fn: _FuncDef) -> bool:
+    """Dunder/private methods and non-instance methods are exempt."""
+    if fn.name.startswith("_"):
+        return True
+    for decorator in fn.decorator_list:
+        name = decorator.id if isinstance(decorator, ast.Name) else getattr(decorator, "attr", "")
+        if name in ("staticmethod", "classmethod", "property", "cached_property"):
+            return True
+    return False
+
+
+def _touches_sink(fn: _FuncDef) -> bool:
+    """Whether the method reads through ``self.trace/spans/metrics``."""
+    for node in walk_own(fn):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "self"
+            and node.value.attr in _SINKS
+        ):
+            return True
+    return False
+
+
+def _is_enabled_guard(stmt: ast.stmt) -> bool:
+    """Whether ``stmt`` is an ``enabled`` check (either polarity)."""
+    if not isinstance(stmt, ast.If):
+        return False
+    for node in ast.walk(stmt.test):
+        if isinstance(node, ast.Attribute) and node.attr == "enabled":
+            return True
+    return False
+
+
+@register
+class EnabledGuardRule(Rule):
+    id = "OBS001"
+    summary = "instrumentation hooks must early-out on `enabled` first"
+    rationale = (
+        "Hooks run on every message, log write and lock transition; "
+        "any work before the enabled check (string formatting, dict "
+        "building) is paid even when tracing is off, eroding the "
+        "near-zero-cost guarantee the smoke bench gates."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not (ctx.in_src and ctx.area == "obs"):
+            return
+        for klass in ast.walk(ctx.tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            for fn in klass.body:
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if _is_exempt(fn) or not _touches_sink(fn):
+                    continue
+                body = body_statements(fn)
+                if body and _is_enabled_guard(body[0]):
+                    continue
+                yield ctx.finding(
+                    fn,
+                    self.id,
+                    f"hook {klass.name}.{fn.name} touches a sink without an "
+                    "`enabled` early-out as its first statement",
+                )

@@ -46,8 +46,10 @@ class Network:
         self.trace = self.obs.trace
         self.rng = rng or RngRegistry(0)
         self._endpoints: dict[str, Endpoint] = {}
-        #: Current partition groups; empty means fully connected.
-        self._groups: list[frozenset[str]] = []
+        #: Current partition groups as sorted tuples (any iteration over
+        #: a group must be hash-order independent); empty means fully
+        #: connected.
+        self._groups: list[tuple[str, ...]] = []
         #: Administratively failed directed links.
         self._down_links: set[tuple[str, str]] = set()
         self._msg_counter = 0
@@ -93,16 +95,16 @@ class Network:
         Nodes not named in any group form an implicit extra group and
         keep communicating among themselves.
         """
-        named = [frozenset(g) for g in groups]
+        named = [tuple(sorted(set(g))) for g in groups]
         seen: set[str] = set()
         for group in named:
-            overlap = seen & group
+            overlap = seen.intersection(group)
             if overlap:
                 raise ValueError(f"nodes {sorted(overlap)} appear in multiple groups")
-            seen |= group
-        rest = frozenset(self._endpoints) - seen
+            seen.update(group)
+        rest = tuple(sorted(n for n in self._endpoints if n not in seen))
         self._groups = named + ([rest] if rest else [])
-        self.trace.emit("net_partition", "network", groups=[sorted(g) for g in self._groups])
+        self.trace.emit("net_partition", "network", groups=[list(g) for g in self._groups])
 
     def heal_partition(self) -> None:
         """Restore full connectivity."""

@@ -49,7 +49,7 @@ class Observability:
         trace: Optional[TraceLog] = None,
         spans: Optional[SpanCollector] = None,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.trace = trace if trace is not None else TraceLog(sim, enabled=enabled)
         self.spans = spans if spans is not None else SpanCollector(sim, enabled=enabled)

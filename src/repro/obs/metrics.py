@@ -19,7 +19,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
@@ -35,7 +35,7 @@ class Histogram:
 
     __slots__ = ("name", "values")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.values: list[float] = []
 
@@ -93,7 +93,7 @@ class Histogram:
 class MetricsRegistry:
     """Named counters and histograms, created on first use."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}

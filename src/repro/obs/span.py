@@ -141,7 +141,7 @@ class SpanCollector:
     store behind ``repro.trace(cluster)``.
     """
 
-    def __init__(self, sim: "Simulator", enabled: bool = True):
+    def __init__(self, sim: "Simulator", enabled: bool = True) -> None:
         self.sim = sim
         self.enabled = enabled
         self.spans: list[Span] = []

@@ -1,0 +1,12 @@
+# repro: path src/repro/harness/api_fixture.py
+"""API fixture: deprecated construction spellings."""
+
+from repro.mds.client import Client
+from repro.mds.cluster import Cluster
+
+
+def legacy_cluster():
+    cluster = Cluster("1PC", ["mds1", "mds2"])  # API001: positional args
+    shimmed = Cluster(protocol="1PC", trace_enabled=False)  # API002
+    client = Client(cluster, "client7")  # API001: positional name
+    return cluster, shimmed, client

@@ -1,0 +1,11 @@
+# repro: path src/repro/harness/api_fixture_ok.py
+"""API fixture: the supported keyword-only spellings — zero findings."""
+
+from repro.mds.client import Client
+from repro.mds.cluster import Cluster
+
+
+def modern_cluster():
+    cluster = Cluster(protocol="1PC", server_names=["mds1", "mds2"], trace=False)
+    client = Client(cluster, name="client7")
+    return cluster, client

@@ -1,0 +1,30 @@
+# repro: path src/repro/sim/det_fixture.py
+"""DET fixture: every statement here should trigger a DET rule."""
+
+import random
+import time
+from datetime import datetime
+
+
+def hash_ordered_dispatch(events):
+    pending = set(events)
+    order = []
+    for event in pending:  # DET003: set iteration
+        order.append(event)
+    snapshot = list({"a", "b"})  # DET003: list() of a set literal
+    table = {"x": 1, "y": 2}
+    names = [key for key in table.keys()]  # DET003: .keys() view
+    return order, snapshot, names
+
+
+def wall_clock_now():
+    stamp = time.time()  # DET001
+    tick = time.perf_counter()  # DET001
+    day = datetime.now()  # DET001
+    return stamp, tick, day
+
+
+def entropy_choice(options):
+    pick = random.choice(options)  # DET002
+    rng = random.Random()  # DET002: unseeded instance
+    return pick, rng

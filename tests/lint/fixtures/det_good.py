@@ -1,0 +1,24 @@
+# repro: path src/repro/sim/det_fixture_ok.py
+"""DET fixture: deterministic spellings of det_bad.py — zero findings."""
+
+import random
+
+
+def sorted_dispatch(events):
+    pending = set(events)
+    order = []
+    for event in sorted(pending):  # sorted() wrapper: ordered
+        order.append(event)
+    snapshot = sorted({"a", "b"})
+    table = {"x": 1, "y": 2}
+    names = [key for key in table]  # dict iteration is insertion-ordered
+    return order, snapshot, names
+
+
+def sim_clock(sim):
+    return sim.now
+
+
+def seeded_choice(options, seed):
+    rng = random.Random(seed)  # explicitly seeded: the sanctioned form
+    return rng.choice(options)

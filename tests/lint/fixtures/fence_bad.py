@@ -1,0 +1,17 @@
+# repro: path src/repro/protocols/fence_fixture.py
+"""FENCE fixture: remote-log reads that skip the fencing discipline."""
+
+
+def impatient_probe(cluster, worker, txn_id):
+    # FENCE002: no fence()/is_fenced() dominates the read.
+    records = yield from cluster.storage.read_remote_log("mds1", worker)
+    return [r for r in records if r.txn_id == txn_id]
+
+
+def split_brain_probe(cluster, worker):
+    # FENCE001 (and FENCE002): opts out of the fencing check outside
+    # core/recovery.py.
+    records = yield from cluster.storage.read_remote_log(
+        "mds1", worker, require_fenced=False
+    )
+    return records

@@ -1,0 +1,9 @@
+# repro: path src/repro/protocols/fence_fixture_ok.py
+"""FENCE fixture: the §III discipline — fence, then read."""
+
+
+def disciplined_probe(cluster, requester, worker, txn_id):
+    if not cluster.storage.fencing.is_fenced(worker):
+        yield from cluster.fencing_driver.fence(requester, worker)
+    records = yield from cluster.storage.read_remote_log(requester, worker)
+    return [r for r in records if r.txn_id == txn_id]

@@ -1,0 +1,20 @@
+# repro: path src/repro/obs/obs_fixture.py
+"""OBS fixture: hooks that pay instrumentation cost while disabled."""
+
+
+class LeakyHub:
+    def __init__(self, sim, trace, metrics):
+        self.sim = sim
+        self.trace = trace
+        self.metrics = metrics
+        self.enabled = True
+
+    def msg_send(self, actor, kind, dst):
+        # OBS001: the f-string is built even when tracing is off.
+        label = f"{actor}->{dst}:{kind}"
+        if not self.enabled:
+            return
+        self.trace.emit("msg_send", label)
+
+    def unguarded_count(self, name):
+        self.metrics.inc(name)  # OBS001: no enabled check at all

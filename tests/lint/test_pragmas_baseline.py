@@ -1,0 +1,140 @@
+"""Pragma suppression and baseline round-trip behaviour."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, lint_file, run_lint
+from repro.lint.baseline import BaselineError
+from repro.lint.pragmas import PragmaIndex, rule_family, virtual_path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BAD_CLOCK = (
+    "# repro: path src/repro/sim/pragma_fixture.py\n"
+    "import time\n"
+    "\n"
+    "def f():\n"
+    "    return time.time(){pragma}\n"
+)
+
+
+def _lint_source(tmp_path, source: str):
+    file = tmp_path / "pragma_fixture.py"
+    file.write_text(source, encoding="utf-8")
+    return lint_file(file)
+
+
+# -- pragmas ----------------------------------------------------------------
+
+
+def test_unsuppressed_finding_fires(tmp_path):
+    findings = _lint_source(tmp_path, BAD_CLOCK.format(pragma=""))
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+@pytest.mark.parametrize(
+    "pragma",
+    [
+        "  # repro: noqa DET001",
+        "  # repro: noqa DET001, GEN001",
+        "  # repro: noqa DET",  # family-level suppression
+        "  # repro: noqa",  # bare: suppress everything on the line
+    ],
+)
+def test_noqa_pragma_suppresses(tmp_path, pragma):
+    assert _lint_source(tmp_path, BAD_CLOCK.format(pragma=pragma)) == []
+
+
+def test_noqa_for_other_rule_does_not_suppress(tmp_path):
+    findings = _lint_source(tmp_path, BAD_CLOCK.format(pragma="  # repro: noqa GEN001"))
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_pragma_only_covers_its_own_line(tmp_path):
+    source = BAD_CLOCK.format(pragma="") + "\n\ndef g():\n    return time.time()  # repro: noqa\n"
+    findings = _lint_source(tmp_path, source)
+    assert len(findings) == 1 and findings[0].line == 5
+
+
+def test_pragma_index_parsing():
+    index = PragmaIndex.scan(
+        "x = 1  # repro: noqa DET001\n"
+        "y = 2  # repro: noqa\n"
+        "z = 3  # unrelated comment\n"
+    )
+    assert index.suppresses(1, "DET001")
+    assert index.suppresses(1, "DET001") and not index.suppresses(1, "OBS001")
+    assert index.suppresses(2, "ANYTHING9")
+    assert not index.suppresses(3, "DET001")
+    assert rule_family("FENCE002") == "FENCE"
+
+
+def test_virtual_path_directive():
+    assert virtual_path("# repro: path src/repro/net/x.py\n") == "src/repro/net/x.py"
+    assert virtual_path("print('hi')\n") is None
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    bad = FIXTURES / "det_bad.py"
+    first = run_lint([bad])
+    assert first.findings and not first.baselined
+
+    baseline_file = tmp_path / "baseline.json"
+    Baseline.write(baseline_file, first.findings)
+
+    second = run_lint([bad], baseline=Baseline.load(baseline_file))
+    assert second.findings == []
+    assert len(second.baselined) == len(first.findings)
+    assert second.ok
+
+
+def test_baseline_is_line_shift_tolerant(tmp_path):
+    source = BAD_CLOCK.format(pragma="")
+    file = tmp_path / "shifty.py"
+    file.write_text(source, encoding="utf-8")
+    baseline_file = tmp_path / "baseline.json"
+    Baseline.write(baseline_file, run_lint([file]).findings)
+
+    # Insert lines above the finding: it moves but stays baselined.
+    file.write_text("# a new leading comment\n\n" + source, encoding="utf-8")
+    report = run_lint([file], baseline=Baseline.load(baseline_file))
+    assert report.ok and len(report.baselined) == 1
+
+
+def test_baseline_is_multiset(tmp_path):
+    # Two identical findings need two baseline entries.
+    source = (
+        "# repro: path src/repro/sim/twice.py\n"
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    return time.time(), time.time()\n"
+    )
+    file = tmp_path / "twice.py"
+    file.write_text(source, encoding="utf-8")
+    all_findings = run_lint([file]).findings
+    assert len(all_findings) == 2
+
+    half = Baseline(all_findings[:1])
+    report = run_lint([file], baseline=half)
+    assert len(report.baselined) == 1 and len(report.findings) == 1
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+def test_corrupt_baseline_is_an_error(tmp_path):
+    bad = tmp_path / "corrupt.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(bad)
+    bad.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(bad)

@@ -1,0 +1,91 @@
+"""Every rule family fires on its bad fixture and stays quiet on the
+good one."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file
+from repro.lint.registry import all_rules, get_rule, select_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture stem -> rule ids that must ALL fire on the bad variant.
+EXPECTED = {
+    "det": {"DET001", "DET002", "DET003"},
+    "gen": {"GEN001", "GEN002"},
+    "fence": {"FENCE001", "FENCE002"},
+    "api": {"API001", "API002"},
+    "obs": {"OBS001"},
+}
+
+
+def rules_hit(path: Path) -> set[str]:
+    return {finding.rule for finding in lint_file(path)}
+
+
+@pytest.mark.parametrize("family", sorted(EXPECTED))
+def test_bad_fixture_triggers_every_rule_of_family(family):
+    hit = rules_hit(FIXTURES / f"{family}_bad.py")
+    assert EXPECTED[family] <= hit, f"missing: {EXPECTED[family] - hit}"
+
+
+@pytest.mark.parametrize("family", sorted(EXPECTED))
+def test_good_fixture_is_clean(family):
+    assert rules_hit(FIXTURES / f"{family}_good.py") == set()
+
+
+def test_all_five_families_are_registered():
+    families = {rule.family for rule in all_rules()}
+    assert {"DET", "GEN", "FENCE", "API", "OBS"} <= families
+
+
+def test_rules_have_identity_and_rationale():
+    for rule in all_rules():
+        assert rule.id and rule.summary and rule.rationale
+
+
+def test_select_rules_by_family_and_id():
+    ids = {rule.id for rule in select_rules(["DET", "FENCE002"])}
+    assert ids == {"DET001", "DET002", "DET003", "FENCE002"}
+    with pytest.raises(KeyError):
+        select_rules(["NOPE999"])
+    assert get_rule("OBS001").family == "OBS"
+
+
+def test_findings_report_position_and_path():
+    findings = lint_file(FIXTURES / "obs_bad.py")
+    assert findings, "obs_bad fixture must produce findings"
+    for finding in findings:
+        assert finding.path.endswith("obs_bad.py")
+        assert finding.line > 0
+        assert finding.col > 0
+
+
+def test_det003_respects_sorted_wrapping_and_dicts():
+    # The good fixture iterates the same data sorted()-wrapped or via
+    # insertion-ordered dicts; DET003 must distinguish the two.
+    bad = [f for f in lint_file(FIXTURES / "det_bad.py") if f.rule == "DET003"]
+    assert len(bad) == 3
+    good = [f for f in lint_file(FIXTURES / "det_good.py") if f.rule == "DET003"]
+    assert good == []
+
+
+def test_fence_rules_do_not_fire_in_tests_or_recovery(tmp_path):
+    # The same source as fence_bad.py, but virtually located in tests/
+    # and in core/recovery.py: the escape hatch is sanctioned there.
+    source = (FIXTURES / "fence_bad.py").read_text(encoding="utf-8")
+    for virtual, allowed in [
+        ("tests/protocols/test_fixture.py", {"FENCE001", "FENCE002"}),
+        ("src/repro/core/recovery.py", {"FENCE001"}),
+    ]:
+        relocated = source.replace(
+            "# repro: path src/repro/protocols/fence_fixture.py",
+            f"# repro: path {virtual}",
+        )
+        tmp = tmp_path / "relocated_fixture.py"
+        tmp.write_text(relocated, encoding="utf-8")
+        hit = rules_hit(tmp)
+        assert not (hit & allowed), f"{virtual} must allow {allowed}, got {hit}"
