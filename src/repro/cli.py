@@ -10,6 +10,7 @@
     python -m repro sweep --kind latency
     python -m repro recovery
     python -m repro batching --n 96
+    python -m repro perf --json BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -261,6 +262,27 @@ def _cmd_torture(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Wall-clock hot-path benchmarks (events/sec, txns/sec)."""
+    import sys as _sys
+
+    from repro.exec.perf import render_perf, run_perf
+
+    progress = None
+    if args.progress:
+        def progress(line: str) -> None:
+            print(line, file=_sys.stderr)
+
+    results = run_perf(
+        workloads=args.workload or None, repeats=args.repeats, progress=progress
+    )
+    print(render_perf(results))
+    if args.json:
+        results.write_json(args.json)
+        print(f"wrote {len(results.workloads)} workloads to {args.json}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one trace-enabled Figure-6 burst cell and export its spans.
 
@@ -378,6 +400,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops", type=int, default=12)
     p.add_argument("--faults", type=int, default=3)
     p.set_defaults(func=_cmd_torture)
+
+    p = sub.add_parser(
+        "perf",
+        help="wall-clock hot-path benchmarks on the pinned workloads "
+        "(kernel churn, Figure-6 cell, fault-torture cell)",
+    )
+    from repro.exec.perf import WORKLOADS
+
+    p.add_argument(
+        "--workload",
+        action="append",
+        choices=list(WORKLOADS),
+        default=None,
+        help="measure only this workload (repeatable; default: all three)",
+    )
+    p.add_argument("--repeats", type=_positive_int, default=3,
+                   help="take the best wall clock of this many runs")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write machine-readable BENCH_perf.json to PATH")
+    p.add_argument("--progress", action="store_true",
+                   help="report per-workload progress on stderr")
+    p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser(
         "trace", help="run one trace-enabled Figure-6 cell and export it"

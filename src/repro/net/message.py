@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One network message between two nodes.
 
@@ -30,9 +30,8 @@ class Message:
 
     def reply(self, kind: str, **payload: Any) -> "Message":
         """Construct a response going back to this message's sender."""
-        return Message(
-            src=self.dst, dst=self.src, kind=kind, txn_id=self.txn_id, payload=dict(payload)
-        )
+        # ``**payload`` is already a fresh dict owned by the new message.
+        return Message(src=self.dst, dst=self.src, kind=kind, txn_id=self.txn_id, payload=payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         txn = f" txn={self.txn_id}" if self.txn_id is not None else ""

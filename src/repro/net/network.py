@@ -11,6 +11,7 @@ from repro.sim import RngRegistry, Simulator, TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.hub import Observability
+    from repro.sim.events import Event
 
 
 class Network:
@@ -170,8 +171,14 @@ class Network:
             txn=message.txn_id,
             msg_id=message.msg_id,
         )
-        deliver = self.sim.timeout(delay, message)
-        deliver.callbacks.append(lambda _e, m=message: self._deliver(m))
+        # Pooled delivery timer: replaces a per-hop Timeout + closure
+        # allocation.  Scheduling order is identical — the pooled event
+        # takes its heap sequence number at the same program point the
+        # old ``sim.timeout(delay, message)`` did.
+        self.sim._trigger_pooled(self._deliver_event, message, delay)
+
+    def _deliver_event(self, event: "Event") -> None:
+        self._deliver(event._value)
 
     def _deliver(self, message: Message) -> None:
         endpoint = self._endpoints[message.dst]

@@ -4,6 +4,25 @@ An :class:`Event` is a one-shot occurrence.  Processes wait on events by
 yielding them; the kernel resumes the process when the event triggers.
 Events can *succeed* (carrying a value) or *fail* (carrying an
 exception, which is thrown into every waiting process).
+
+Hot-path notes
+--------------
+Every simulated message hop, WAL flush and process resumption creates
+and processes events, so this module is the innermost allocation site
+of the whole reproduction.  Three structural choices keep it lean
+without changing any observable behaviour:
+
+* **Int-coded lifecycle states.**  ``_state`` is one of the module
+  ints ``PENDING``/``TRIGGERED``/``PROCESSED`` (0/1/2); comparisons in
+  the kernel loop are pointer-equality on small ints instead of string
+  compares.  ``repr`` maps them back to names.
+* **Lazy callback lists.**  Most events carry zero or one callback;
+  the list in ``_callbacks`` is only allocated when the first callback
+  is added, and processing an event drops the reference instead of
+  allocating a fresh empty list.  The public ``callbacks`` property
+  preserves the historical ``event.callbacks.append(...)`` API.
+* **Lazy timeout names.**  The old f-string default name per Timeout
+  (pure ``repr`` fodder) is now built on demand.
 """
 
 from __future__ import annotations
@@ -15,10 +34,13 @@ from repro.sim.errors import EventRefusedError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
 
-# Event lifecycle states.
-PENDING = "pending"
-TRIGGERED = "triggered"  # scheduled, value known, callbacks not yet run
-PROCESSED = "processed"  # callbacks have run
+# Event lifecycle states (int-coded; see module docstring).
+PENDING = 0
+TRIGGERED = 1  # scheduled, value known, callbacks not yet run
+PROCESSED = 2  # callbacks have run
+
+#: Names for ``repr`` and diagnostics, indexed by state.
+STATE_NAMES = ("pending", "triggered", "processed")
 
 
 class Event:
@@ -32,12 +54,16 @@ class Event:
         Optional human-readable label used in traces and ``repr``.
     """
 
-    __slots__ = ("sim", "name", "callbacks", "_state", "_ok", "_value", "defused")
+    __slots__ = ("sim", "name", "_callbacks", "_state", "_ok", "_value", "defused")
+
+    #: Pool-recycled events override this (see kernel._trigger_pooled);
+    #: a class attribute costs nothing per instance.
+    _pooled = False
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
-        self.callbacks: list[Callable[[Event], None]] = []
+        self._callbacks: "list[Callable[[Event], None]] | None" = None
         self._state = PENDING
         self._ok = True
         self._value: Any = None
@@ -46,6 +72,19 @@ class Event:
         self.defused = False
 
     # -- state inspection -------------------------------------------------
+
+    @property
+    def callbacks(self) -> "list[Callable[[Event], None]]":
+        """Mutable callback list (allocated on first access).
+
+        Appending is only meaningful before the event is processed:
+        exactly as before the hot-path rework, callbacks added after
+        processing are never invoked.
+        """
+        cbs = self._callbacks
+        if cbs is None:
+            cbs = self._callbacks = []
+        return cbs
 
     @property
     def triggered(self) -> bool:
@@ -60,14 +99,14 @@ class Event:
     @property
     def ok(self) -> bool:
         """True when the event succeeded.  Only meaningful once triggered."""
-        if not self.triggered:
+        if self._state == PENDING:
             raise EventRefusedError(f"{self!r} has not been triggered")
         return self._ok
 
     @property
     def value(self) -> Any:
         """The event's value (or failure exception) once triggered."""
-        if not self.triggered:
+        if self._state == PENDING:
             raise EventRefusedError(f"{self!r} has no value yet")
         return self._value
 
@@ -75,7 +114,7 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Schedule the event to succeed with ``value`` after ``delay``."""
-        if self.triggered:
+        if self._state != PENDING:
             raise EventRefusedError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -85,7 +124,7 @@ class Event:
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Schedule the event to fail with ``exception`` after ``delay``."""
-        if self.triggered:
+        if self._state != PENDING:
             raise EventRefusedError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -105,14 +144,18 @@ class Event:
     # -- kernel interface ---------------------------------------------------
 
     def _run_callbacks(self) -> None:
+        # The kernel's run() loop inlines this body; keep the two in
+        # sync (see Simulator.run).
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or self.__class__.__name__
-        return f"<{label} state={self._state}>"
+        return f"<{label} state={STATE_NAMES[self._state]}>"
 
     # -- composition ---------------------------------------------------------
 
@@ -129,14 +172,24 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
-        if delay < 0:
-            raise ValueError(f"negative delay {delay!r}")
-        super().__init__(sim, name or f"timeout({delay})")
+        # Inlined Event.__init__ plus immediate triggering: Timeout is
+        # the dominant event of every workload, so it pays to skip the
+        # super() call and the old per-instance f-string name.
+        # Negative delays are rejected in Simulator._schedule (the
+        # single owner of that validation).
+        self.sim = sim
+        self.name = name
+        self._callbacks = None
+        self.defused = False
         self.delay = delay
         self._ok = True
         self._value = value
         self._state = TRIGGERED
         sim._schedule(self, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or f"timeout({self.delay})"
+        return f"<{label} state={STATE_NAMES[self._state]}>"
 
 
 class Condition(Event):
@@ -172,13 +225,17 @@ class Condition(Event):
             if event._state == PROCESSED:
                 self._on_trigger(event)
             else:
-                event.callbacks.append(self._on_trigger)
+                cbs = event._callbacks
+                if cbs is None:
+                    event._callbacks = [self._on_trigger]
+                else:
+                    cbs.append(self._on_trigger)
 
     def _collect(self) -> dict[Event, Any]:
-        return {e: e._value for e in self.events if e.triggered and e._ok}
+        return {e: e._value for e in self.events if e._state != PENDING and e._ok}
 
     def _on_trigger(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return
         if not event._ok:
             event.defused = True

@@ -5,21 +5,72 @@ The kernel is a classic calendar-queue DES core: a binary heap of
 monotonically increasing integer that makes scheduling fully
 deterministic: two events scheduled for the same instant always fire in
 the order they were scheduled.
+
+Hot-path notes
+--------------
+``run()`` is the innermost loop of every experiment, so it is written
+as a tight inline loop rather than composed from ``peek()``/``step()``:
+heap and ``heappop`` are bound to locals, the callback dispatch of
+:meth:`~repro.sim.events.Event._run_callbacks` is inlined (no event
+subclass overrides it), and the processed-event counter is accumulated
+locally and flushed once.  ``step()`` stays the one-event-at-a-time
+public API with identical semantics.
+
+The kernel also keeps a small **freelist of trigger events**: process
+kick-starts, relays of already-processed targets, interrupt wakeups
+and network-delivery timers are all single-callback events that the
+rest of the simulation never retains, so the kernel recycles them via
+:meth:`_trigger_pooled` instead of allocating a fresh ``Event`` (plus
+name string and callback list) per occurrence.  A pooled event is
+returned to the freelist immediately after its callbacks ran.
+
+Everything above is *mechanical*: event order, virtual timestamps and
+process semantics are byte-identical to the straightforward kernel
+(pinned by ``tests/sim/test_differential_kernel.py`` against the
+frozen reference implementation, and by the golden traces).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.errors import SimulationError, StopSimulation
-from repro.sim.events import Event, Timeout
+from repro.sim.events import PENDING, PROCESSED, TRIGGERED, Event, Timeout
 from repro.sim.process import Process
 
 #: Priority of normal events.
 PRIORITY_NORMAL = 1
 #: Priority of urgent events (used by the kernel for process resumption).
 PRIORITY_URGENT = 0
+
+_INF = float("inf")
+
+#: Freelist size cap — beyond this, trigger events are simply dropped
+#: for the garbage collector (a bound, not a tuning knob).
+_POOL_MAX = 4096
+
+
+class _TriggerEvent(Event):
+    """A pool-recycled, single-shot trigger event (kernel-internal).
+
+    Only ever created by :meth:`Simulator._trigger_pooled`; never
+    exposed to simulation code beyond the one callback it carries, and
+    recycled the moment its callbacks have run.
+    """
+
+    __slots__ = ()
+
+    _pooled = True
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.name = ""
+        self._callbacks = None
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = None
+        self.defused = False
 
 
 class Simulator:
@@ -43,6 +94,7 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        self._pool: list[_TriggerEvent] = []
         #: Number of events processed so far (exposed for statistics).
         self.events_processed = 0
 
@@ -61,11 +113,44 @@ class Simulator:
     # -- scheduling ----------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
-        """Insert a triggered event into the calendar queue."""
+        """Insert a triggered event into the calendar queue.
+
+        The single owner of negative-delay validation: every scheduling
+        path (``Timeout``, ``succeed``/``fail`` delays, pooled trigger
+        events) funnels through here.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+        heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+
+    def _trigger_pooled(
+        self,
+        callback: Callable[[Event], None],
+        value: Any,
+        delay: float = 0.0,
+        ok: bool = True,
+        defused: bool = False,
+    ) -> None:
+        """Schedule a single-callback trigger event from the freelist.
+
+        Kernel-internal fast path for events that (a) are born
+        triggered, (b) carry exactly one callback, and (c) are retained
+        by nobody — process kick-starts/relays/interrupt wakeups and
+        network delivery timers.  The event is recycled right after its
+        callbacks run, so the callback must not stash a reference.
+        """
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event._state = TRIGGERED
+        else:
+            event = _TriggerEvent(self)
+        event._ok = ok
+        event._value = value
+        event.defused = defused
+        event._callbacks = [callback]
+        self._schedule(event, delay)
 
     # -- factories -----------------------------------------------------------
 
@@ -85,13 +170,15 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        return heap[0][0] if heap else _INF
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("step() on an empty schedule")
-        time, _priority, _seq, event = heapq.heappop(self._heap)
+        time, _priority, _seq, event = heappop(heap)
         if time < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = time
@@ -101,6 +188,8 @@ class Simulator:
             # A failure nobody waited on: surface it instead of silently
             # swallowing a broken process.
             raise event._value
+        if event._pooled and len(self._pool) < _POOL_MAX:
+            self._pool.append(event)  # type: ignore[arg-type]
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run until the schedule drains, ``until`` time passes, or an
@@ -109,10 +198,10 @@ class Simulator:
         Returns the value of the ``until`` event when one is given.
         """
         stop_event: Optional[Event] = None
-        deadline = float("inf")
+        deadline = _INF
         if isinstance(until, Event):
             stop_event = until
-            if stop_event.processed:
+            if stop_event._state == PROCESSED:
                 return stop_event.value
             stop_event.callbacks.append(self._stop_on_event)
         elif until is not None:
@@ -120,24 +209,65 @@ class Simulator:
             if deadline < self._now:
                 raise ValueError(f"until={deadline} is in the past (now={self._now})")
 
+        # The loop below is step() inlined: locals for the heap and
+        # heappop, Event._run_callbacks unrolled (no subclass overrides
+        # it), counter flushed once in the finally.  Scheduling in the
+        # past is impossible through _schedule (delay >= 0), so the
+        # defensive check step() keeps is skipped here.
+        heap = self._heap
+        pool = self._pool
+        processed = 0
         try:
-            while self._heap and self.peek() <= deadline:
-                self.step()
+            if deadline == _INF:
+                while heap:
+                    entry = heappop(heap)
+                    event = entry[3]
+                    self._now = entry[0]
+                    processed += 1
+                    event._state = PROCESSED
+                    callbacks = event._callbacks
+                    if callbacks is not None:
+                        event._callbacks = None
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event.defused:
+                        raise event._value
+                    if event._pooled and len(pool) < _POOL_MAX:
+                        pool.append(event)  # type: ignore[arg-type]
+            else:
+                while heap and heap[0][0] <= deadline:
+                    entry = heappop(heap)
+                    event = entry[3]
+                    self._now = entry[0]
+                    processed += 1
+                    event._state = PROCESSED
+                    callbacks = event._callbacks
+                    if callbacks is not None:
+                        event._callbacks = None
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event.defused:
+                        raise event._value
+                    if event._pooled and len(pool) < _POOL_MAX:
+                        pool.append(event)  # type: ignore[arg-type]
         except StopSimulation as stop:
             return stop.value
         finally:
-            if stop_event is not None and self._stop_on_event in stop_event.callbacks:
-                stop_event.callbacks.remove(self._stop_on_event)
+            self.events_processed += processed
+            if stop_event is not None:
+                cbs = stop_event._callbacks
+                if cbs is not None and self._stop_on_event in cbs:
+                    cbs.remove(self._stop_on_event)
 
         if stop_event is not None:
-            if stop_event.triggered:
+            if stop_event._state != PENDING:
                 if not stop_event.ok:
                     raise stop_event.value
                 return stop_event.value
             raise SimulationError(
                 f"schedule drained at t={self._now} before {stop_event!r} triggered"
             )
-        if deadline != float("inf"):
+        if deadline != _INF:
             self._now = deadline
         return None
 

@@ -8,6 +8,17 @@ event's exception thrown into it on failure).
 A process is itself an event that triggers when the generator returns
 (succeeding with its return value) or raises (failing with the
 exception), so processes can wait on each other.
+
+Hot-path notes
+--------------
+Kick-starts, relays of already-processed targets and interrupt wakeups
+used to allocate a named ``Event`` (plus f-string and callback list)
+per occurrence; they now go through the kernel's pooled trigger-event
+freelist (:meth:`Simulator._trigger_pooled`).  That is safe precisely
+because ``_resume`` never retains the event it is called with — it only
+reads the outcome and possibly marks the failure defused.  Scheduling
+order is unchanged: the pooled path assigns its heap sequence number at
+the same program point the old ``succeed()``/``fail()`` calls did.
 """
 
 from __future__ import annotations
@@ -15,7 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.events import PENDING, Event
+from repro.sim.events import PENDING, PROCESSED, Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
@@ -32,11 +43,10 @@ class Process(Event):
         super().__init__(sim, name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Kick-start: resume at the current instant with an initialisation
-        # event, so process bodies begin executing in creation order.
-        init = Event(sim, name=f"init:{self.name}")
-        init.callbacks.append(self._resume)
-        init.succeed()
+        # Kick-start: resume at the current instant with a pooled
+        # initialisation event, so process bodies begin executing in
+        # creation order.
+        sim._trigger_pooled(self._resume, None)
 
     # -- state ---------------------------------------------------------------
 
@@ -60,19 +70,18 @@ class Process(Event):
         Interrupting a dead process is a no-op so that crash injection
         does not have to care about races with normal completion.
         """
-        if not self.is_alive:
+        if self._state != PENDING:
             return
         if self is self.sim.active_process:
             raise SimulationError("a process cannot interrupt itself")
         # Detach from the waited-on event.
-        if self._waiting_on is not None and self._resume in self._waiting_on.callbacks:
-            self._waiting_on.callbacks.remove(self._resume)
+        if self._waiting_on is not None:
+            cbs = self._waiting_on._callbacks
+            if cbs is not None and self._resume in cbs:
+                cbs.remove(self._resume)
         self._waiting_on = None
-        wakeup = Event(self.sim, name=f"interrupt:{self.name}")
-        wakeup.callbacks.append(self._resume)
-        wakeup.fail(Interrupt(cause))
-        # The interrupt itself is always considered observed.
-        wakeup.defused = True
+        # The interrupt itself is always considered observed (defused).
+        self.sim._trigger_pooled(self._resume, Interrupt(cause), ok=False, defused=True)
 
     def kill(self, cause: Any = None) -> None:
         """Terminate the process immediately without running it further.
@@ -83,10 +92,12 @@ class Process(Event):
         ``None`` so that waiters are not poisoned; crash semantics are
         the responsibility of higher layers.
         """
-        if not self.is_alive:
+        if self._state != PENDING:
             return
-        if self._waiting_on is not None and self._resume in self._waiting_on.callbacks:
-            self._waiting_on.callbacks.remove(self._resume)
+        if self._waiting_on is not None:
+            cbs = self._waiting_on._callbacks
+            if cbs is not None and self._resume in cbs:
+                cbs.remove(self._resume)
         self._waiting_on = None
         self._generator.close()
         self.succeed(None)
@@ -95,13 +106,14 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        if self.triggered:
+        if self._state != PENDING:
             # Already finished (e.g. kill() raced with a pending
             # kick-start or relay event): ignore stale wakeups.
             if not event._ok:
                 event.defused = True
             return
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         self._waiting_on = None
         try:
             if event._ok:
@@ -118,7 +130,7 @@ class Process(Event):
             self.fail(exc)
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
         if not isinstance(target, Event):
             exc = SimulationError(
@@ -130,18 +142,16 @@ class Process(Event):
                 pass
             self.fail(exc)
             return
-        if target.sim is not self.sim:
+        if target.sim is not sim:
             self.fail(SimulationError("yielded an event belonging to another simulator"))
             return
 
         self._waiting_on = target
-        if target.processed:
+        if target._state == PROCESSED:
             # Already-processed events resume the process immediately
             # (still via the scheduler, to preserve determinism).
-            relay = Event(self.sim, name=f"relay:{self.name}")
-            relay.callbacks.append(self._resume)
-            relay.trigger_like(target)
-            if not target._ok:
-                relay.defused = True
+            sim._trigger_pooled(
+                self._resume, target._value, ok=target._ok, defused=not target._ok
+            )
         else:
             target.callbacks.append(self._resume)

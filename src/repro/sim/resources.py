@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
@@ -30,7 +30,7 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_order")
 
     def __init__(self, resource: "Resource", priority: int = 0):
-        super().__init__(resource.sim, name=f"request:{resource.name}")
+        super().__init__(resource.sim, name=resource._request_name)
         self.resource = resource
         self.priority = priority
         self._order = resource._next_order()
@@ -59,6 +59,9 @@ class Resource:
         self.sim = sim
         self.name = name
         self.capacity = capacity
+        # Shared by every Request of this resource (repr label only);
+        # saves an f-string per request on the disk/lock hot path.
+        self._request_name = f"request:{name}"
         self._order_counter = 0
         self._waiting: list[Request] = []
         self._granted: set[Request] = set()
@@ -101,10 +104,13 @@ class Resource:
         return (request._order,)
 
     def _dispatch(self) -> None:
-        while self._waiting and len(self._granted) < self.capacity:
-            self._waiting.sort(key=self._sort_key)
-            req = self._waiting.pop(0)
-            self._granted.add(req)
+        waiting = self._waiting
+        granted = self._granted
+        while waiting and len(granted) < self.capacity:
+            if len(waiting) > 1:
+                waiting.sort(key=self._sort_key)
+            req = waiting.pop(0)
+            granted.add(req)
             req.succeed(req)
 
 
@@ -126,6 +132,8 @@ class Store:
     def __init__(self, sim: "Simulator", name: str = "store"):
         self.sim = sim
         self.name = name
+        # Shared by every get() event of this store (repr label only).
+        self._get_name = f"get:{name}"
         self.items: Deque[Any] = deque()
         self._getters: Deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
 
@@ -137,7 +145,7 @@ class Store:
         self._dispatch()
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
-        event = Event(self.sim, name=f"get:{self.name}")
+        event = Event(self.sim, name=self._get_name)
         self._getters.append((event, predicate))
         self._dispatch()
         return event
@@ -152,6 +160,18 @@ class Store:
         self._getters.clear()
 
     def _dispatch(self) -> None:
+        getters = self._getters
+        items = self.items
+        # Fast path: a live, unfiltered getter at the head of the queue
+        # takes the oldest item — the overwhelmingly common mailbox
+        # case.  Identical to one iteration of the general scan below
+        # with gi == 0 and ii == 0.
+        while getters and items:
+            event, predicate = getters[0]
+            if predicate is not None or event._state != PENDING:
+                break
+            getters.popleft()
+            event.succeed(items.popleft())
         made_progress = True
         while made_progress and self._getters and self.items:
             made_progress = False

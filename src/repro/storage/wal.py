@@ -36,12 +36,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class _FlushJob:
     """One pending append: records plus a completion event."""
 
-    __slots__ = ("records", "done", "sync")
+    __slots__ = ("records", "done", "sync", "nbytes")
 
     def __init__(self, sim: Simulator, records: list[LogRecord], sync: bool):
         self.records = records
         self.done = Event(sim, name="flush")
         self.sync = sync
+        #: Per-job byte total, computed once at enqueue time (the batch
+        #: scan in ``_next_batch`` used to recompute it per iteration).
+        self.nbytes = sum(r.size for r in records)
 
 
 class WriteAheadLog:
@@ -134,8 +137,13 @@ class WriteAheadLog:
                 sync=sync,
                 nbytes=record.size,
             )
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
+        wakeup = self._wakeup
+        if wakeup is not None:
+            # Batched wakeup: the first append of a burst triggers the
+            # flusher; the rest of the burst queues behind it without
+            # touching the event again.
+            self._wakeup = None
+            wakeup.succeed()
         return job
 
     # -- background flusher -----------------------------------------------------
@@ -152,7 +160,7 @@ class WriteAheadLog:
         batch: list[_FlushJob] = []
         total = 0.0
         for job in self._queue:
-            nbytes = sum(r.size for r in job.records)
+            nbytes = job.nbytes
             if batch and total + nbytes > self.group_commit_max_bytes:
                 break
             batch.append(job)
@@ -164,10 +172,17 @@ class WriteAheadLog:
             if generation != self._generation:
                 return
             if not self._queue:
+                # Whoever fires this wakeup (append or crash) also
+                # clears ``self._wakeup``, so a spent event is never
+                # re-fired.
                 self._wakeup = Event(self.sim, name=f"wal-wakeup:{self.owner}")
                 yield self._wakeup
                 continue
             batch = self._next_batch()
+            # NOTE: this flattened sum must not be replaced by
+            # ``sum(job.nbytes for job in batch)`` — float addition is
+            # non-associative, and regrouping per job would perturb
+            # device write times (and thus every golden trace).
             nbytes = sum(r.size for job in batch for r in job.records)
             try:
                 self._check_fence()
@@ -210,10 +225,13 @@ class WriteAheadLog:
             if not job.done.triggered:
                 job.done.fail(LogLostError(f"{self.owner} crashed before flush"))
                 job.done.defused = True
-        if self._wakeup is not None and not self._wakeup.triggered:
+        wakeup = self._wakeup
+        if wakeup is not None:
             # Wake the old flusher so it observes the generation change
-            # and exits.
-            self._wakeup.succeed()
+            # and exits; the dead flusher's wakeup must not linger, or a
+            # later append would try to re-fire the spent event.
+            self._wakeup = None
+            wakeup.succeed()
         self.obs.log_crash(self.owner, lost_jobs=len(lost))
 
     def restart(self) -> None:

@@ -6,6 +6,10 @@ from hypothesis import strategies as st
 from repro.faults import random_fault_plan
 from repro.faults.injector import CrashFault, LinkFault, PartitionFault, VoteRefusalFault
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 NODES = ["mds1", "mds2", "mds3"]
 
 

@@ -13,6 +13,8 @@ import pytest
 from repro.faults import random_fault_plan
 from repro.harness.scenarios import distributed_create_cluster
 
+pytestmark = pytest.mark.slow
+
 
 def run_torture(protocol, seed, n_ops=12, n_faults=3):
     cluster, client = distributed_create_cluster(protocol, trace=True)

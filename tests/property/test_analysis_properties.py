@@ -6,6 +6,10 @@ from hypothesis import strategies as st
 from repro.analysis.costs import _disjoint_interval_count
 from repro.analysis.metrics import percentile
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
 
 

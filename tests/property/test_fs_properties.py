@@ -1,5 +1,6 @@
 """Property-based tests for the metadata store, placement and planner."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -16,6 +17,8 @@ from repro.fs import (
     plan_create,
     plan_delete,
 )
+
+pytestmark = pytest.mark.slow
 
 names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
 nodes = st.lists(st.sampled_from(["mds1", "mds2", "mds3", "mds4"]), min_size=1, unique=True)

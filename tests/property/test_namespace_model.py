@@ -12,6 +12,10 @@ from hypothesis import strategies as st
 
 from repro.harness.scenarios import distributed_create_cluster
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 class TreeModel:
     """The obviously-correct model: a dict of directory -> name -> kind."""

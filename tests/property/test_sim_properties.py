@@ -5,6 +5,10 @@ from hypothesis import strategies as st
 
 from repro.sim import RngRegistry, Simulator
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 delays = st.lists(
     st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False),
     min_size=1,

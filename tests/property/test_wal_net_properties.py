@@ -8,6 +8,10 @@ from repro.net import Network
 from repro.sim import Simulator
 from repro.storage import Disk, LogRecord, RecordKind, WriteAheadLog
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 # A script of WAL actions: (op, size). "crash" loses buffered state.
 wal_ops = st.lists(
     st.tuples(

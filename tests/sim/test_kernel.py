@@ -33,6 +33,22 @@ def test_negative_timeout_rejected():
         sim.timeout(-1.0)
 
 
+def test_negative_delay_message_single_source():
+    """The negative-delay check lives in ``Simulator._schedule`` alone;
+    every scheduling path must surface its exact message."""
+    sim = Simulator()
+    with pytest.raises(ValueError, match=r"negative delay -1\.0"):
+        sim.timeout(-1.0)
+    with pytest.raises(ValueError, match=r"negative delay -0\.5"):
+        sim.event().succeed(delay=-0.5)
+    with pytest.raises(ValueError, match=r"negative delay -2"):
+        sim.event().fail(RuntimeError("x"), delay=-2)
+    with pytest.raises(ValueError, match=r"negative delay -3\.5"):
+        sim._schedule(sim.event(), delay=-3.5)
+    # The rejected timeout never reached the schedule.
+    assert sim.peek() == float("inf")
+
+
 def test_run_until_time_stops_clock_exactly():
     sim = Simulator()
 
