@@ -1,0 +1,49 @@
+"""Content-addressed, on-disk cache for executed experiment cells.
+
+A cell's outcome is a pure function of its :class:`~repro.exec.spec.RunSpec`
+(canonical identity, spec-derived seeding, bit-identical parallel/serial
+merge), so recomputing a cell the repository has already computed is
+wasted work — the same observation behind the paper's coordinator redo
+record in §III: never redo what is already durably logged.  This
+package memoises cell results on disk:
+
+* **Addressing** — ``sha256(spec.identity() + code fingerprint +
+  schema version)``.  The fingerprint hashes every installed ``repro``
+  source file, so *any* code change makes old entries unreachable:
+  staleness is impossible by construction, not by discipline.
+* **Durability** — entries are canonical-JSON documents written via
+  temp-file-then-``os.replace``; a crash mid-write never leaves a
+  servable partial entry, which is what makes killed sweeps resumable.
+* **Accounting** — hit/miss/bypass/write counters flow through the
+  standard :class:`~repro.obs.metrics.MetricsRegistry`.
+
+::
+
+    from repro.cache import ResultCache
+    from repro.exec import figure6_grid, run_sweep
+
+    cache = ResultCache()                      # ~/.cache/repro (REPRO_CACHE_DIR)
+    cold = run_sweep(figure6_grid(n=100), kind="figure6", cache=cache)
+    warm = run_sweep(figure6_grid(n=100), kind="figure6", cache=cache)
+    assert cold.to_json(canonical=True) == warm.to_json(canonical=True)
+"""
+
+from repro.cache.fingerprint import clear_fingerprint_cache, code_fingerprint, package_root
+from repro.cache.store import (
+    CacheStats,
+    EntryInfo,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+)
+
+__all__ = [
+    "CacheStats",
+    "EntryInfo",
+    "ResultCache",
+    "cache_key",
+    "clear_fingerprint_cache",
+    "code_fingerprint",
+    "default_cache_dir",
+    "package_root",
+]

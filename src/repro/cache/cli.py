@@ -1,0 +1,65 @@
+"""``repro cache`` — inspect and manage the experiment result cache.
+
+::
+
+    python -m repro cache stats                # entry count, size, kinds
+    python -m repro cache clear                # delete every entry
+    python -m repro cache gc --max-size 256    # LRU-evict down to 256 MB
+"""
+
+from __future__ import annotations
+
+import argparse
+
+_MB = 1024.0 * 1024.0
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``stats``/``clear``/``gc`` subcommands to ``parser``."""
+    sub = parser.add_subparsers(dest="cache_command", required=True)
+
+    sub.add_parser("stats", help="entry count, total size and per-kind breakdown")
+    sub.add_parser("clear", help="delete every cached entry (and stray temp files)")
+
+    p = sub.add_parser(
+        "gc", help="evict least-recently-used entries until the cache fits --max-size"
+    )
+    p.add_argument(
+        "--max-size",
+        type=float,
+        default=256.0,
+        metavar="MB",
+        help="target cache size in megabytes (default: 256)",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute one cache subcommand; returns the process exit code."""
+    from repro.cache.store import ResultCache
+
+    cache = ResultCache()
+    if args.cache_command == "stats":
+        doc = cache.describe()
+        print(f"cache root:  {doc['root']}")
+        print(f"entries:     {doc['entries']}")
+        print(f"total size:  {doc['total_bytes'] / _MB:.2f} MB")
+        if doc["kinds"]:
+            breakdown = ", ".join(f"{kind}={count}" for kind, count in doc["kinds"].items())
+            print(f"kinds:       {breakdown}")
+        print(f"fingerprint: {doc['fingerprint'][:16]}… (current code)")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    if args.cache_command == "gc":
+        if args.max_size < 0:
+            print("--max-size must be >= 0")
+            return 2
+        removed, freed = cache.gc(int(args.max_size * _MB))
+        print(
+            f"evicted {removed} entr{'y' if removed == 1 else 'ies'} "
+            f"({freed / _MB:.2f} MB) from {cache.root}"
+        )
+        return 0
+    raise ValueError(f"unknown cache command {args.cache_command!r}")  # pragma: no cover

@@ -1,0 +1,57 @@
+"""Code fingerprint: one hash over the installed ``repro`` sources.
+
+Every cache key folds this fingerprint in, so *any* source change — a
+kernel tweak, a protocol fix, a new parameter default — silently
+changes the address of every cell and previously cached results become
+unreachable.  Invalidation therefore needs no version bookkeeping and
+cannot be forgotten: an entry written by different code simply lives
+at a different key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional, Union
+
+#: Memoised fingerprints, keyed by resolved source root.
+_FINGERPRINTS: dict[str, str] = {}
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package sources."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def code_fingerprint(root: Optional[Union[str, Path]] = None) -> str:
+    """sha256 over every ``*.py`` under ``root`` (default: ``repro``).
+
+    Files are folded in sorted relative-path order, each prefixed with
+    its path, so renames, deletions and content edits all change the
+    digest.  The result is memoised per root: hashing a couple of
+    hundred source files once per process is noise; once per cell
+    would not be.
+    """
+    base = package_root() if root is None else Path(root).resolve()
+    key = str(base)
+    cached = _FINGERPRINTS.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(base).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    fingerprint = digest.hexdigest()
+    _FINGERPRINTS[key] = fingerprint
+    return fingerprint
+
+
+def clear_fingerprint_cache() -> None:
+    """Forget memoised fingerprints (for tests that mutate scratch trees)."""
+    _FINGERPRINTS.clear()

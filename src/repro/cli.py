@@ -11,6 +11,7 @@
     python -m repro recovery
     python -m repro batching --n 96
     python -m repro perf --json BENCH_perf.json
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -145,7 +146,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         def progress(event):
             print(event, file=_sys.stderr)
 
-    sweep = run_sweep(specs, kind=args.kind, workers=args.workers, progress=progress)
+    cache = None
+    if args.cache or args.refresh:
+        from repro.cache import ResultCache
+
+        cache = ResultCache()
+
+    sweep = run_sweep(
+        specs,
+        kind=args.kind,
+        workers=args.workers,
+        progress=progress,
+        cache=cache,
+        refresh=args.refresh,
+    )
+    if cache is not None:
+        print(
+            f"cache: {sweep.cached} hit{'s' if sweep.cached != 1 else ''}, "
+            f"{sweep.computed} computed ({cache.root})",
+            file=_sys.stderr,
+        )
 
     if args.kind in ("figure6", "scaling"):
         rows = [
@@ -225,6 +245,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     print(generate_report(n=args.n))
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import cli as cache_cli
+
+    return cache_cli.run(args)
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -380,6 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="omit volatile meta from --json (bit-reproducible output)")
     p.add_argument("--progress", action="store_true",
                    help="report per-cell progress on stderr")
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction, default=True,
+                   help="serve already-computed cells from the result cache "
+                   "and write new ones through (default: on)")
+    p.add_argument("--refresh", action="store_true",
+                   help="recompute every cell, overwriting cached entries")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("recovery", help="crash recovery timing")
@@ -413,7 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         choices=list(WORKLOADS),
         default=None,
-        help="measure only this workload (repeatable; default: all three)",
+        help="measure only this workload (repeatable; default: all)",
     )
     p.add_argument("--repeats", type=_positive_int, default=3,
                    help="take the best wall clock of this many runs")
@@ -452,6 +483,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="full reproduction report (all core artifacts)")
     p.add_argument("--n", type=int, default=100, help="Figure 6 burst size")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect/manage the content-addressed experiment result cache",
+    )
+    from repro.cache import cli as cache_cli
+
+    cache_cli.add_arguments(p)
+    p.set_defaults(func=_cmd_cache)
 
     return parser
 

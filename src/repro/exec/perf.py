@@ -2,7 +2,7 @@
 
 Every other measurement in this repository reports *simulated* time —
 a pure function of the code, immune to host speed.  This module is the
-deliberate exception: it pins three workloads and reports how fast the
+deliberate exception: it pins four workloads and reports how fast the
 host actually chews through them (events per wall-clock second, and
 committed transactions per wall-clock second where the workload has
 transactions).  It is the quantitative backing for the ROADMAP's "as
@@ -20,6 +20,12 @@ The pinned workloads:
 * ``torture-cell`` — one seeded fault-torture cell (crash/partition/
   link faults over a create burst): the fault-handling and recovery
   paths.
+* ``figure6-warm`` — the full Figure-6 sweep twice against a fresh
+  :class:`~repro.cache.ResultCache`: a cache-cold pass that computes
+  and writes through, then a cache-warm pass served entirely from
+  disk.  Both wall clocks (and the speedup) land in ``detail``; the
+  pass pair also asserts the warm canonical JSON is byte-identical to
+  the cold one, so the benchmark doubles as an end-to-end cache check.
 
 The JSON document (``BENCH_perf.json``) mirrors the sweep-results
 style: deterministic simulation facts (event counts, committed counts,
@@ -37,10 +43,10 @@ from typing import Any, Callable, Generator, Iterator, Optional
 
 from repro.exec.results import git_revision
 
-PERF_SCHEMA_VERSION = 1
+PERF_SCHEMA_VERSION = 2
 
 #: The pinned workload names, in report order.
-WORKLOADS = ("kernel-churn", "figure6-cell", "torture-cell")
+WORKLOADS = ("kernel-churn", "figure6-cell", "torture-cell", "figure6-warm")
 
 
 @dataclass(frozen=True)
@@ -217,10 +223,58 @@ def _run_torture_cell(
     return run
 
 
+def _run_figure6_warm(n: int = 100, protocols: tuple[str, ...] = ("PrN", "PrC", "EP", "1PC")) -> Callable[[], WorkloadRun]:
+    def run() -> WorkloadRun:
+        import shutil
+        import tempfile
+
+        from repro.cache import ResultCache
+        from repro.exec.grids import figure6_grid
+        from repro.exec.results import run_sweep
+
+        specs = figure6_grid(n=n, protocols=protocols)
+        tmp = tempfile.mkdtemp(prefix="repro-perf-cache-")
+        try:
+            cache = ResultCache(root=tmp)
+            cold_started = time.perf_counter()  # repro: noqa DET001 - wall-clock measurement is the product
+            cold = run_sweep(specs, kind="figure6", cache=cache)
+            cold_wall = time.perf_counter() - cold_started  # repro: noqa DET001 - wall-clock measurement is the product
+            warm_started = time.perf_counter()  # repro: noqa DET001 - wall-clock measurement is the product
+            warm = run_sweep(specs, kind="figure6", cache=cache)
+            warm_wall = time.perf_counter() - warm_started  # repro: noqa DET001 - wall-clock measurement is the product
+            if warm.to_json(canonical=True) != cold.to_json(canonical=True):
+                raise RuntimeError("warm-cache sweep is not byte-identical to cold")
+            if cache.stats.hits != len(specs):
+                raise RuntimeError(
+                    f"warm pass expected {len(specs)} hits, saw {cache.stats.hits}"
+                )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        return WorkloadRun(
+            name="figure6-warm",
+            events=0,
+            txns=sum(cell.committed for cell in cold.cells),
+            sim_time=sum(cell.makespan for cell in cold.cells),
+            wall_s=0.0,
+            repeats=0,
+            detail={
+                "n": n,
+                "protocols": list(protocols),
+                "cells": len(specs),
+                "cold_wall_s": cold_wall,
+                "warm_wall_s": warm_wall,
+                "speedup": cold_wall / warm_wall if warm_wall > 0 else float("inf"),
+            },
+        )
+
+    return run
+
+
 _FACTORIES: dict[str, Callable[[], Callable[[], WorkloadRun]]] = {
     "kernel-churn": _run_kernel_churn,
     "figure6-cell": _run_figure6_cell,
     "torture-cell": _run_torture_cell,
+    "figure6-warm": _run_figure6_warm,
 }
 
 
@@ -265,7 +319,7 @@ def run_perf(
     repeats: int = 3,
     progress: Optional[Callable[[str], None]] = None,
 ) -> PerfResults:
-    """Measure the pinned workloads; ``workloads=None`` runs all three."""
+    """Measure the pinned workloads; ``workloads=None`` runs them all."""
     names = list(workloads) if workloads is not None else list(WORKLOADS)
     unknown = [n for n in names if n not in _FACTORIES]
     if unknown:

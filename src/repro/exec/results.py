@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Optional
 from repro.exec.spec import CellResult, RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import ResultCache
     from repro.exec.executor import ProgressCallback
     from repro.sim.monitor import TraceLog
 
@@ -42,7 +43,11 @@ SCHEMA_VERSION = 1
 
 
 def git_revision(cwd: Optional[str] = None) -> str:
-    """The working tree's commit hash, or ``"unknown"`` outside git."""
+    """The working tree's commit hash, or ``"unknown"`` outside git.
+
+    A tree with uncommitted tracked changes gets a ``-dirty`` suffix,
+    so results produced from unreproducible source state say so.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -54,7 +59,21 @@ def git_revision(cwd: Optional[str] = None) -> str:
     except (OSError, subprocess.TimeoutExpired):
         return "unknown"
     rev = out.stdout.strip()
-    return rev if out.returncode == 0 and rev else "unknown"
+    if out.returncode != 0 or not rev:
+        return "unknown"
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return rev
+    if status.returncode == 0 and status.stdout.strip():
+        return f"{rev}-dirty"
+    return rev
 
 
 @dataclass
@@ -69,6 +88,12 @@ class SweepResults:
     created_at: str = field(
         default_factory=lambda: datetime.now(timezone.utc).isoformat()  # repro: noqa DET001 - wall-clock provenance
     )
+    #: How many cells were served from the result cache vs executed.
+    #: Provenance only — cached and computed cells are interchangeable,
+    #: so these live under volatile ``meta`` and never affect the
+    #: canonical document.
+    cached: int = 0
+    computed: int = 0
 
     def to_dict(self, canonical: bool = False) -> dict[str, Any]:
         """JSON-ready document; ``canonical`` drops the volatile meta."""
@@ -83,6 +108,7 @@ class SweepResults:
                 "created_at": self.created_at,
                 "wall_time_s": self.wall_time_s,
                 "workers": self.workers,
+                "cache": {"cached": self.cached, "computed": self.computed},
             }
         return doc
 
@@ -118,18 +144,31 @@ def run_sweep(
     workers: int = 1,
     progress: "Optional[ProgressCallback]" = None,
     trace: "Optional[TraceLog]" = None,
+    cache: "Optional[ResultCache]" = None,
+    refresh: bool = False,
 ) -> SweepResults:
-    """Execute a grid and wrap it with provenance for serialisation."""
+    """Execute a grid and wrap it with provenance for serialisation.
+
+    With ``cache``, already-computed cells are served from disk and the
+    split is recorded under ``meta["cache"]``; the canonical document
+    is identical either way.
+    """
     import time
 
     from repro.exec.executor import run_grid
 
+    before = cache.stats if cache is not None else None
     started = time.monotonic()  # repro: noqa DET001 - wall-clock provenance
-    cells = run_grid(specs, workers=workers, progress=progress, trace=trace)
+    cells = run_grid(
+        specs, workers=workers, progress=progress, trace=trace, cache=cache, refresh=refresh
+    )
+    cached = (cache.stats - before).hits if cache is not None and before is not None else 0
     return SweepResults(
         kind=kind,
         cells=cells,
         workers=workers,
         wall_time_s=time.monotonic() - started,  # repro: noqa DET001 - wall-clock provenance
         git_rev=git_revision(),
+        cached=cached,
+        computed=len(cells) - cached,
     )

@@ -94,6 +94,27 @@ class RunSpec:
             doc["trace"] = True
         return doc
 
+    @staticmethod
+    def from_dict(doc: dict[str, Any]) -> "RunSpec":
+        """Rebuild a spec from its :meth:`to_dict` form.
+
+        Exact inverse of :meth:`to_dict`: the round trip preserves the
+        canonical identity — and with it the derived seed — which is
+        what lets the result cache address cells by serialised spec.
+        """
+        return RunSpec(
+            kind=doc["kind"],
+            protocol=doc["protocol"],
+            n=doc["n"],
+            op=doc["op"],
+            abort_rate=doc["abort_rate"],
+            n_pairs=doc["n_pairs"],
+            seed=doc["seed"],
+            point=doc["point"],
+            params=SimulationParams.from_dict(doc["params"]),
+            trace=bool(doc.get("trace", False)),
+        )
+
     def identity(self) -> str:
         """Canonical JSON identity — stable across processes and runs."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
@@ -172,3 +193,40 @@ class CellResult:
         if self.metrics is not None:
             doc["metrics"] = self.metrics
         return doc
+
+    @staticmethod
+    def from_dict(doc: dict[str, Any]) -> "CellResult":
+        """Rebuild a plain-data cell from its :meth:`to_dict` form.
+
+        Inverse of :meth:`to_dict` for everything that serialises:
+        ``payload`` never leaves the process, so rebuilt cells carry
+        none.  Re-serialising the result reproduces ``doc`` exactly
+        (JSON floats round-trip bit-for-bit), which is what makes a
+        warm-cache sweep byte-identical to a cold one.
+        """
+        from repro.analysis.metrics import LatencyStats
+
+        latency_doc = doc.get("latency")
+        latency = None
+        if latency_doc is not None:
+            latency = LatencyStats(
+                count=latency_doc["count"],
+                mean=latency_doc["mean"],
+                minimum=latency_doc["min"],
+                maximum=latency_doc["max"],
+                p50=latency_doc["p50"],
+                p95=latency_doc["p95"],
+                p99=latency_doc["p99"],
+            )
+        return CellResult(
+            spec=RunSpec.from_dict(doc["spec"]),
+            derived_seed=doc["derived_seed"],
+            committed=doc["committed"],
+            aborted=doc["aborted"],
+            makespan=doc["makespan"],
+            throughput=doc["throughput"],
+            latency=latency,
+            forced_writes=doc["forced_writes"],
+            lazy_writes=doc["lazy_writes"],
+            metrics=doc.get("metrics"),
+        )

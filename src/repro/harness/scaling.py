@@ -11,11 +11,14 @@ still a two-MDS transaction and no server plays two roles).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.config import SimulationParams
 from repro.fs.objects import ObjectId
 from repro.mds.cluster import Cluster
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import ResultCache
 
 
 class StripedPlacement:
@@ -129,6 +132,7 @@ def sweep_scaling(
     ops_per_dir: int = 25,
     params: Optional[SimulationParams] = None,
     workers: int = 1,
+    cache: "Optional[ResultCache]" = None,
 ) -> dict[int, float]:
     """Aggregate throughput for each cluster size.
 
@@ -138,5 +142,5 @@ def sweep_scaling(
     from repro.exec import run_grid, scaling_grid
 
     specs = scaling_grid(protocol, pair_counts=pair_counts, ops_per_dir=ops_per_dir, params=params)
-    cells = run_grid(specs, workers=workers)
+    cells = run_grid(specs, workers=workers, cache=cache)
     return {cell.spec.n_pairs: cell.throughput for cell in cells}

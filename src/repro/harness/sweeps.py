@@ -15,7 +15,7 @@ derive from the spec rather than scheduling order.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.config import SimulationParams
 from repro.exec import (
@@ -26,6 +26,9 @@ from repro.exec import (
     network_latency_grid,
     run_grid,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import ResultCache
 
 DEFAULT_PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
 
@@ -44,10 +47,11 @@ def sweep_network_latency(
     n: int = 50,
     params: Optional[SimulationParams] = None,
     workers: int = 1,
+    cache: "Optional[ResultCache]" = None,
 ) -> dict[float, dict[str, float]]:
     """Throughput per protocol for each one-way network latency."""
     specs = network_latency_grid(latencies, protocols=protocols, n=n, params=params)
-    return _fold(run_grid(specs, workers=workers))
+    return _fold(run_grid(specs, workers=workers, cache=cache))
 
 
 def sweep_disk_bandwidth(
@@ -56,10 +60,11 @@ def sweep_disk_bandwidth(
     n: int = 50,
     params: Optional[SimulationParams] = None,
     workers: int = 1,
+    cache: "Optional[ResultCache]" = None,
 ) -> dict[float, dict[str, float]]:
     """Throughput per protocol for each log-device bandwidth."""
     specs = disk_bandwidth_grid(bandwidths, protocols=protocols, n=n, params=params)
-    return _fold(run_grid(specs, workers=workers))
+    return _fold(run_grid(specs, workers=workers, cache=cache))
 
 
 def sweep_burst_size(
@@ -67,10 +72,11 @@ def sweep_burst_size(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     params: Optional[SimulationParams] = None,
     workers: int = 1,
+    cache: "Optional[ResultCache]" = None,
 ) -> dict[int, dict[str, float]]:
     """Throughput per protocol for each burst size."""
     specs = burst_size_grid(sizes, protocols=protocols, params=params)
-    return _fold(run_grid(specs, workers=workers))
+    return _fold(run_grid(specs, workers=workers, cache=cache))
 
 
 def sweep_abort_rate(
@@ -80,6 +86,7 @@ def sweep_abort_rate(
     params: Optional[SimulationParams] = None,
     seed: int = 7,
     workers: int = 1,
+    cache: "Optional[ResultCache]" = None,
 ) -> dict[float, dict[str, float]]:
     """Committed throughput per protocol with a fraction of refused votes.
 
@@ -91,7 +98,7 @@ def sweep_abort_rate(
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"abort rate must be in [0, 1), got {rate}")
     specs = abort_rate_grid(rates, protocols=protocols, n=n, params=params, seed=seed)
-    return _fold(run_grid(specs, workers=workers))
+    return _fold(run_grid(specs, workers=workers, cache=cache))
 
 
 def _burst_with_aborts(protocol, n, rate, params, seed=7):

@@ -5,4 +5,4 @@ Importing this package registers every rule with the registry.
 
 from __future__ import annotations
 
-from repro.lint.rules import api, det, fence, gen, obs  # noqa: F401
+from repro.lint.rules import api, cache, det, fence, gen, obs  # noqa: F401

@@ -1,0 +1,58 @@
+"""CACHE — result-cache determinism rules.
+
+The experiment cache's contract is that a warm sweep is byte-identical
+to a cold one.  That only holds if every JSON document on the cache
+path is serialised canonically — ``json.dumps`` with
+``sort_keys=True`` — because dict iteration order is an implementation
+detail the on-disk format must not depend on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: The areas whose JSON output feeds cache entries or sweep documents.
+_AREAS = frozenset({"cache", "exec"})
+
+
+def _sorts_keys(call: ast.Call) -> bool:
+    """Whether the call passes a literal ``sort_keys=True``."""
+    for keyword in call.keywords:
+        if keyword.arg == "sort_keys":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+    return False
+
+
+@register
+class SortedJsonRule(Rule):
+    id = "CACHE001"
+    summary = "cache/exec JSON serialisation must pass sort_keys=True"
+    rationale = (
+        "Cache entries and sweep documents are compared byte-for-byte "
+        "(warm-vs-cold identity, CI baselines); json.dumps without "
+        "sort_keys=True leaks dict insertion order into the on-disk "
+        "format, breaking that identity the first time a field is "
+        "added in a different place."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not (ctx.in_src and ctx.area in _AREAS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.qualified_name(node.func) != "json.dumps":
+                continue
+            if _sorts_keys(node):
+                continue
+            yield ctx.finding(
+                node,
+                self.id,
+                "json.dumps on the cache/exec path without sort_keys=True "
+                "(on-disk documents must be canonical)",
+            )

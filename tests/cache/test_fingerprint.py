@@ -1,0 +1,80 @@
+"""The code fingerprint: any source change moves every cache address."""
+
+from __future__ import annotations
+
+from repro.cache import ResultCache, clear_fingerprint_cache, code_fingerprint, package_root
+from repro.exec import RunSpec, execute_spec
+
+
+def make_tree(root, files):
+    for name, text in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+
+def test_fingerprint_is_stable_and_hex(tmp_path):
+    make_tree(tmp_path, {"a.py": "x = 1\n", "sub/b.py": "y = 2\n"})
+    fp = code_fingerprint(tmp_path)
+    assert fp == code_fingerprint(tmp_path)
+    assert len(fp) == 64 and int(fp, 16) >= 0
+
+
+def test_fingerprint_changes_on_edit_rename_delete(tmp_path):
+    make_tree(tmp_path, {"a.py": "x = 1\n", "sub/b.py": "y = 2\n"})
+    base = code_fingerprint(tmp_path)
+
+    clear_fingerprint_cache()
+    (tmp_path / "a.py").write_text("x = 2\n", encoding="utf-8")
+    edited = code_fingerprint(tmp_path)
+    assert edited != base
+
+    clear_fingerprint_cache()
+    (tmp_path / "sub" / "b.py").rename(tmp_path / "sub" / "c.py")
+    renamed = code_fingerprint(tmp_path)
+    assert renamed not in (base, edited)
+
+    clear_fingerprint_cache()
+    (tmp_path / "sub" / "c.py").unlink()
+    deleted = code_fingerprint(tmp_path)
+    assert deleted not in (base, edited, renamed)
+
+
+def test_fingerprint_ignores_pycache_and_non_python(tmp_path):
+    make_tree(tmp_path, {"a.py": "x = 1\n"})
+    base = code_fingerprint(tmp_path)
+    clear_fingerprint_cache()
+    make_tree(tmp_path, {"__pycache__/a.cpython-311.py": "junk\n", "notes.txt": "hello\n"})
+    assert code_fingerprint(tmp_path) == base
+
+
+def test_fingerprint_is_memoised(tmp_path):
+    make_tree(tmp_path, {"a.py": "x = 1\n"})
+    base = code_fingerprint(tmp_path)
+    # Without clearing the memo, an edit is (deliberately) not seen.
+    (tmp_path / "a.py").write_text("x = 99\n", encoding="utf-8")
+    assert code_fingerprint(tmp_path) == base
+    clear_fingerprint_cache()
+    assert code_fingerprint(tmp_path) != base
+
+
+def test_default_root_is_the_installed_package():
+    root = package_root()
+    assert (root / "__init__.py").is_file()
+    assert code_fingerprint() == code_fingerprint(root)
+
+
+def test_code_change_invalidates_cached_entries(tmp_path):
+    """The acceptance-criteria proof: mutate the fingerprint, entries miss."""
+    spec = RunSpec(kind="burst", protocol="1PC", n=10, seed=0)
+    cell = execute_spec(spec)
+
+    before = ResultCache(root=tmp_path / "cache", fingerprint="fp-before")
+    before.put(spec, cell)
+    assert before.get(spec) is not None
+
+    after = ResultCache(root=tmp_path / "cache", fingerprint="fp-after")
+    assert after.get(spec) is None
+    assert after.stats.misses == 1
+    # The old entry is untouched on disk — it is unreachable, not erased.
+    assert before.get(spec) is not None

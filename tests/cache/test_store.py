@@ -1,0 +1,229 @@
+"""ResultCache: addressing, round-trips, atomicity, maintenance."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cache import CacheStats, ResultCache, cache_key
+from repro.exec import RunSpec, derive_seed, execute_spec
+from repro.exec.spec import CellResult
+
+
+def make_cache(tmp_path, **kwargs):
+    kwargs.setdefault("fingerprint", "test-fingerprint")
+    return ResultCache(root=tmp_path / "cache", **kwargs)
+
+
+def burst_spec(**kwargs):
+    kwargs.setdefault("kind", "burst")
+    kwargs.setdefault("protocol", "1PC")
+    kwargs.setdefault("n", 10)
+    return RunSpec(**kwargs)
+
+
+def test_cache_key_is_stable_and_sensitive():
+    spec = burst_spec()
+    key = cache_key(spec, "fp")
+    assert key == cache_key(burst_spec(), "fp")
+    assert key != cache_key(burst_spec(n=11), "fp")
+    assert key != cache_key(spec, "fp2")
+    assert len(key) == 64
+
+
+def test_put_get_round_trip_preserves_canonical_cell(tmp_path):
+    cache = make_cache(tmp_path)
+    spec = burst_spec()
+    cell = execute_spec(spec)
+    cache.put(spec, cell)
+    got = cache.get(spec)
+    assert got is not None
+    assert got.to_dict() == cell.to_dict()
+    # ``params=None`` round-trips as the materialised defaults — same
+    # identity (hence same cache key), not dataclass equality.
+    assert got.spec.identity() == spec.identity()
+    assert got.derived_seed == derive_seed(spec)
+    assert got.payload is None
+    assert cache.stats == CacheStats(hits=1, misses=0, bypasses=0, writes=1)
+
+
+def test_get_on_empty_cache_is_a_miss(tmp_path):
+    cache = make_cache(tmp_path)
+    assert cache.get(burst_spec()) is None
+    assert cache.stats.misses == 1
+
+
+def test_entry_is_canonical_sorted_json(tmp_path):
+    cache = make_cache(tmp_path)
+    spec = burst_spec()
+    path = cache.put(spec, execute_spec(spec))
+    text = path.read_text(encoding="utf-8")
+    doc = json.loads(text)
+    assert text == json.dumps(doc, sort_keys=True, indent=2) + "\n"
+    assert doc["key"] == cache.key_for(spec)
+    assert doc["fingerprint"] == "test-fingerprint"
+    assert doc["spec_identity"] == spec.identity()
+    assert set(doc["meta"]) == {"created_at", "git_rev"}
+
+
+def test_corrupt_entry_is_deleted_and_recomputable(tmp_path):
+    cache = make_cache(tmp_path)
+    spec = burst_spec()
+    path = cache.put(spec, execute_spec(spec))
+    path.write_text("{ truncated", encoding="utf-8")
+    assert cache.get(spec) is None
+    assert not path.exists()
+    assert cache.stats.misses == 1
+
+
+def test_entry_at_wrong_address_is_not_served(tmp_path):
+    # A document copied to another spec's address must be rejected: the
+    # embedded key no longer matches where it lives.
+    cache = make_cache(tmp_path)
+    a, b = burst_spec(), burst_spec(n=11)
+    path_a = cache.put(a, execute_spec(a))
+    path_b = cache.path_for(b)
+    path_b.parent.mkdir(parents=True, exist_ok=True)
+    path_b.write_text(path_a.read_text(encoding="utf-8"), encoding="utf-8")
+    assert cache.get(b) is None
+    assert not path_b.exists()
+
+
+def test_interrupted_write_leaves_no_entry_and_no_stray_after_sweep(tmp_path, monkeypatch):
+    cache = make_cache(tmp_path)
+    spec = burst_spec()
+    cell = execute_spec(spec)
+
+    def explode(src, dst):
+        raise OSError("simulated crash at the rename point")
+
+    monkeypatch.setattr(os, "replace", explode)
+    with pytest.raises(OSError):
+        cache.put(spec, cell)
+    monkeypatch.undo()
+
+    # Nothing servable, nothing half-written.
+    assert cache.get(spec) is None
+    assert list((tmp_path / "cache").rglob("*.tmp")) == []
+    assert cache.entries() == []
+
+
+def test_writes_are_temp_file_then_rename(tmp_path, monkeypatch):
+    cache = make_cache(tmp_path)
+    spec = burst_spec()
+    observed = {}
+    real_replace = os.replace
+
+    def spying_replace(src, dst):
+        observed[str(dst)] = str(src)
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", spying_replace)
+    path = cache.put(spec, execute_spec(spec))
+    src = observed[str(path)]
+    assert src.endswith(".tmp")
+    assert os.path.dirname(src) == str(path.parent)
+
+
+def test_fsync_mode_round_trips(tmp_path):
+    cache = make_cache(tmp_path, fsync=True)
+    spec = burst_spec()
+    cache.put(spec, execute_spec(spec))
+    assert cache.get(spec) is not None
+
+
+def test_clear_removes_entries_and_strays(tmp_path):
+    cache = make_cache(tmp_path)
+    for n in (5, 6, 7):
+        spec = burst_spec(n=n)
+        cache.put(spec, execute_spec(spec))
+    stray = tmp_path / "cache" / "objects" / "ab" / "junk.tmp"
+    stray.parent.mkdir(parents=True, exist_ok=True)
+    stray.write_text("debris", encoding="utf-8")
+    assert cache.clear() == 3
+    assert cache.entries() == []
+    assert not stray.exists()
+    assert cache.total_bytes() == 0
+
+
+def test_gc_evicts_least_recently_used_first(tmp_path):
+    cache = make_cache(tmp_path)
+    specs = [burst_spec(n=n) for n in (5, 6, 7)]
+    paths = [cache.put(spec, execute_spec(spec)) for spec in specs]
+    # Make recency deterministic and spec-ordered: oldest first.
+    for age, path in enumerate(paths):
+        os.utime(path, (1000.0 + age, 1000.0 + age))
+    sizes = [path.stat().st_size for path in paths]
+
+    removed, freed = cache.gc(sizes[1] + sizes[2])
+    assert (removed, freed) == (1, sizes[0])
+    assert not paths[0].exists() and paths[1].exists() and paths[2].exists()
+
+    # A hit refreshes recency, so the next eviction spares the hit entry.
+    cache.get(specs[1])
+    removed, _ = cache.gc(sizes[1])
+    assert removed == 1
+    assert paths[1].exists() and not paths[2].exists()
+
+    assert cache.gc(0) == (1, sizes[1])
+    assert cache.entries() == []
+
+
+def test_gc_rejects_negative_budget_and_noops_when_small(tmp_path):
+    cache = make_cache(tmp_path)
+    spec = burst_spec()
+    cache.put(spec, execute_spec(spec))
+    with pytest.raises(ValueError):
+        cache.gc(-1)
+    assert cache.gc(10 * 1024 * 1024) == (0, 0)
+    assert len(cache.entries()) == 1
+
+
+def test_describe_reports_kinds_from_index(tmp_path):
+    cache = make_cache(tmp_path)
+    for spec in (burst_spec(), burst_spec(kind="abort_burst", abort_rate=0.1)):
+        cache.put(spec, execute_spec(spec))
+    doc = cache.describe()
+    assert doc["entries"] == 2
+    assert doc["kinds"] == {"abort_burst": 1, "burst": 1}
+    assert doc["fingerprint"] == "test-fingerprint"
+    assert doc["total_bytes"] == cache.total_bytes() > 0
+
+
+def test_lost_index_degrades_gracefully(tmp_path):
+    # The object files are authoritative; a deleted index only loses
+    # kind labels, never entries.
+    cache = make_cache(tmp_path)
+    spec = burst_spec()
+    cache.put(spec, execute_spec(spec))
+    (tmp_path / "cache" / "index.json").unlink()
+    assert cache.get(spec) is not None
+    assert cache.describe()["kinds"] == {"?": 1}
+
+
+def test_metrics_flow_through_injected_registry(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cache = make_cache(tmp_path, metrics=registry)
+    spec = burst_spec()
+    cache.get(spec)
+    cache.put(spec, execute_spec(spec))
+    cache.get(spec)
+    cache.count_bypass()
+    assert registry.get_counter("cache.miss").value == 1
+    assert registry.get_counter("cache.write").value == 1
+    assert registry.get_counter("cache.hit").value == 1
+    assert registry.get_counter("cache.bypass").value == 1
+
+
+def test_cell_result_from_dict_round_trips_latency():
+    spec = burst_spec()
+    cell = execute_spec(spec)
+    assert cell.latency is not None
+    doc = cell.to_dict()
+    back = CellResult.from_dict(doc)
+    assert back.to_dict() == doc
+    assert back.latency.p95 == cell.latency.p95

@@ -133,6 +133,55 @@ def test_payload_stripped_in_parallel_kept_in_serial():
     assert all(c.payload.cluster is None for c in parallel)
 
 
+def failing_grid():
+    return [
+        RunSpec(kind="burst", protocol="1PC", n=5),
+        RunSpec(kind="burst", protocol="NOPE", n=5),
+    ]
+
+
+def assert_no_partial_entries(root):
+    """The cache holds only complete, servable documents — no debris."""
+    assert list(root.rglob("*.tmp")) == []
+    for path in root.rglob("*.json"):
+        json.loads(path.read_text(encoding="utf-8"))  # must parse whole
+
+
+def test_failed_serial_grid_names_spec_and_leaves_no_partial_entry(tmp_path):
+    from repro.cache import ResultCache
+
+    cache = ResultCache(root=tmp_path / "cache")
+    with pytest.raises(ExperimentError, match=r"spec 1 \(.*NOPE.*\) failed"):
+        run_grid(failing_grid(), workers=1, cache=cache)
+    assert_no_partial_entries(tmp_path / "cache")
+    # The cell that completed before the failure was still written through.
+    assert len(cache.entries()) == 1
+
+
+def test_failed_pooled_grid_names_spec_and_leaves_no_partial_entry(tmp_path):
+    from repro.cache import ResultCache
+
+    cache = ResultCache(root=tmp_path / "cache")
+    with pytest.raises(ExperimentError, match=r"spec 1 \(.*NOPE.*\) failed in worker"):
+        run_grid(failing_grid(), workers=2, cache=cache)
+    assert_no_partial_entries(tmp_path / "cache")
+
+
+def test_dead_worker_names_spec_and_leaves_no_partial_entry(tmp_path):
+    from repro.cache import ResultCache
+
+    register_runner("die", _exit_runner)
+    cache = ResultCache(root=tmp_path / "cache")
+    specs = [
+        RunSpec(kind="die", protocol="1PC", n=1),
+        RunSpec(kind="die", protocol="1PC", n=2),
+    ]
+    with pytest.raises(ExperimentError, match=r"worker process died.*first unfinished spec"):
+        run_grid(specs, workers=2, cache=cache)
+    assert_no_partial_entries(tmp_path / "cache")
+    assert cache.entries() == []
+
+
 def test_cell_result_counts_forced_writes():
     cell = execute_spec(RunSpec(kind="burst", protocol="1PC", n=4))
     assert isinstance(cell, CellResult)

@@ -1,0 +1,45 @@
+"""Perf-suite tests: the cache-warm workload and the document schema."""
+
+from __future__ import annotations
+
+from repro.exec.perf import (
+    PERF_SCHEMA_VERSION,
+    WORKLOADS,
+    PerfResults,
+    _run_figure6_warm,
+    run_perf,
+)
+
+
+def test_figure6_warm_is_a_pinned_workload():
+    assert PERF_SCHEMA_VERSION == 2
+    assert "figure6-warm" in WORKLOADS
+
+
+def test_figure6_warm_measures_cold_and_warm_pair():
+    run = _run_figure6_warm(n=10, protocols=("1PC", "EP"))()
+    assert run.name == "figure6-warm"
+    assert run.txns == 2 * 10  # every create commits in both cells
+    assert run.sim_time > 0
+    detail = run.detail
+    assert detail["cells"] == 2
+    assert detail["cold_wall_s"] > 0 and detail["warm_wall_s"] > 0
+    # The whole point: serving from disk beats recomputing.
+    assert detail["speedup"] > 1.0
+    assert detail["speedup"] == detail["cold_wall_s"] / detail["warm_wall_s"]
+
+
+def test_figure6_warm_simulation_facts_are_deterministic():
+    a = _run_figure6_warm(n=8, protocols=("1PC",))()
+    b = _run_figure6_warm(n=8, protocols=("1PC",))()
+    assert (a.events, a.txns, a.sim_time) == (b.events, b.txns, b.sim_time)
+
+
+def test_perf_document_schema_carries_both_wall_clocks():
+    results = run_perf(workloads=["figure6-warm"], repeats=1)
+    doc = results.to_dict()
+    assert doc["schema_version"] == PERF_SCHEMA_VERSION
+    assert isinstance(results, PerfResults)
+    (workload,) = doc["workloads"]
+    assert workload["name"] == "figure6-warm"
+    assert workload["detail"]["cold_wall_s"] > workload["detail"]["warm_wall_s"] > 0

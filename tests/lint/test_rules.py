@@ -19,6 +19,7 @@ EXPECTED = {
     "fence": {"FENCE001", "FENCE002"},
     "api": {"API001", "API002"},
     "obs": {"OBS001"},
+    "cache": {"CACHE001"},
 }
 
 
@@ -37,9 +38,9 @@ def test_good_fixture_is_clean(family):
     assert rules_hit(FIXTURES / f"{family}_good.py") == set()
 
 
-def test_all_five_families_are_registered():
+def test_all_families_are_registered():
     families = {rule.family for rule in all_rules()}
-    assert {"DET", "GEN", "FENCE", "API", "OBS"} <= families
+    assert {"DET", "GEN", "FENCE", "API", "OBS", "CACHE"} <= families
 
 
 def test_rules_have_identity_and_rationale():

@@ -155,3 +155,63 @@ def test_cli_sweep_progress_reports_cells(capsys, tmp_path):
     captured = capsys.readouterr()
     assert code == 0
     assert "[4/4]" in captured.err
+
+
+def test_cli_sweep_cache_warm_run_hits_and_matches(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cold_json = tmp_path / "cold.json"
+    warm_json = tmp_path / "warm.json"
+
+    code = main(["sweep", "--kind", "figure6", "--n", "7",
+                 "--json", str(cold_json), "--canonical"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "0 hits, 4 computed" in captured.err
+
+    code = main(["sweep", "--kind", "figure6", "--n", "7",
+                 "--json", str(warm_json), "--canonical"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "4 hits, 0 computed" in captured.err
+    assert cold_json.read_bytes() == warm_json.read_bytes()
+
+
+def test_cli_sweep_no_cache_and_refresh(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    code = main(["sweep", "--kind", "figure6", "--n", "7", "--no-cache"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "cache:" not in captured.err
+    assert not (tmp_path / "cache").exists()
+
+    main(["sweep", "--kind", "figure6", "--n", "7"])
+    capsys.readouterr()
+    code = main(["sweep", "--kind", "figure6", "--n", "7", "--refresh"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "0 hits, 4 computed" in captured.err
+
+
+def test_cli_cache_stats_clear_gc(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    main(["sweep", "--kind", "figure6", "--n", "7"])
+    capsys.readouterr()
+
+    code, out = run_cli(capsys, "cache", "stats")
+    assert code == 0
+    assert "entries:     4" in out and "burst=4" in out
+
+    code, out = run_cli(capsys, "cache", "gc", "--max-size", "0")
+    assert code == 0
+    assert "evicted 4 entries" in out
+
+    code, out = run_cli(capsys, "cache", "clear")
+    assert code == 0
+    assert "removed 0 cached entries" in out
+
+
+def test_cli_cache_gc_rejects_negative_budget(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    code, out = run_cli(capsys, "cache", "gc", "--max-size", "-1")
+    assert code == 2
+    assert "must be >= 0" in out

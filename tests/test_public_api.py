@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.analysis",
     "repro.harness",
+    "repro.cache",
 ]
 
 
