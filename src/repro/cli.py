@@ -12,6 +12,11 @@
     python -m repro batching --n 96
     python -m repro perf --json BENCH_perf.json
     python -m repro cache stats
+    python -m repro protocols --json
+
+Protocol choices everywhere come from the plug-in registry
+(:mod:`repro.protocols.registry`), so a newly registered protocol is
+selectable in every subcommand without CLI edits.
 """
 
 from __future__ import annotations
@@ -20,7 +25,12 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
+
+def _protocol_names() -> tuple:
+    """Registered protocol names in registry enumeration order."""
+    from repro.protocols.registry import default_protocols
+
+    return default_protocols()
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -177,10 +187,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         table: dict = {}
         for cell in sweep.cells:
             table.setdefault(cell.spec.point, {})[cell.spec.protocol] = cell.throughput
+        seen = {cell.spec.protocol for cell in sweep.cells}
+        columns = [p for p in _protocol_names() if p in seen]
+        columns += sorted(seen - set(columns))  # unregistered stragglers
         rows = [
-            [label(pt)] + [f"{table[pt][p]:.1f}" for p in PROTOCOLS] for pt in table
+            [label(pt)] + [f"{table[pt][p]:.1f}" for p in columns] for pt in table
         ]
-        print(render_table(["Point", *PROTOCOLS], rows, title=title))
+        print(render_table(["Point", *columns], rows, title=title))
     if args.json:
         sweep.write_json(args.json, canonical=args.canonical)
         print(f"wrote {len(sweep.cells)} cells to {args.json}"
@@ -196,7 +209,7 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     )
 
     rows = []
-    for protocol in PROTOCOLS:
+    for protocol in _protocol_names():
         w = measure_worker_crash_recovery(protocol)
         c = measure_coordinator_crash_recovery(protocol)
         rows.append(
@@ -251,6 +264,36 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.cache import cli as cache_cli
 
     return cache_cli.run(args)
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    """List the registered commit protocols (the CI matrix source)."""
+    import json
+
+    from repro.protocols.registry import specs
+
+    if args.json:
+        print(json.dumps([spec.describe() for spec in specs()], indent=2))
+        return 0
+
+    from repro.analysis.tables import render_table
+
+    rows = [
+        [
+            spec.name,
+            spec.engine.__name__,
+            ",".join(sorted(spec.capabilities)) or "-",
+            "-" if spec.paper_figure6 is None else f"{spec.paper_figure6:.2f}",
+            spec.summary,
+        ]
+        for spec in specs()
+    ]
+    print(render_table(
+        ["Name", "Engine", "Capabilities", "Paper fig6 (tx/s)", "Summary"],
+        rows,
+        title=f"Registered commit protocols ({len(rows)})",
+    ))
+    return 0
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -366,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce 'One Phase Commit' (CLUSTER 2012) experiments.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    protocol_names = _protocol_names()
 
     p = sub.add_parser("table1", help="Table I: cost accounting")
     p.add_argument("--paper-only", action="store_true", help="skip the measurement run")
@@ -376,14 +420,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_figure6)
 
     p = sub.add_parser("timeline", help="Figures 2-5: protocol timelines")
-    p.add_argument("--protocol", choices=[*PROTOCOLS, "all"], default="all")
+    p.add_argument("--protocol", choices=[*protocol_names, "all"], default="all")
     p.set_defaults(func=_cmd_timeline)
 
     p = sub.add_parser("model", help="analytical throughput model")
     p.set_defaults(func=_cmd_model)
 
     p = sub.add_parser("burst", help="run one burst workload")
-    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC")
+    p.add_argument("--protocol", choices=protocol_names, default="1PC")
     p.add_argument("--n", type=int, default=100)
     p.add_argument("--op", choices=["create", "delete"], default="create")
     p.set_defaults(func=_cmd_burst)
@@ -395,7 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="latency",
     )
     p.add_argument("--n", type=int, default=40, help="burst size / ops per directory")
-    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC",
+    p.add_argument("--protocol", choices=protocol_names, default="1PC",
                    help="protocol for --kind scaling")
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="process-pool size (1 = serial; results are identical)")
@@ -417,7 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_recovery)
 
     p = sub.add_parser("batching", help="§VI aggregation sweep")
-    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC")
+    p.add_argument("--protocol", choices=protocol_names, default="1PC")
     p.add_argument("--n", type=int, default=96)
     p.set_defaults(func=_cmd_batching)
 
@@ -426,7 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("torture", help="random fault plans over a create burst")
-    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC")
+    p.add_argument("--protocol", choices=protocol_names, default="1PC")
     p.add_argument("--seeds", type=int, default=5)
     p.add_argument("--ops", type=int, default=12)
     p.add_argument("--faults", type=int, default=3)
@@ -457,7 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "trace", help="run one trace-enabled Figure-6 cell and export it"
     )
-    p.add_argument("--protocol", choices=PROTOCOLS, default="1PC")
+    p.add_argument("--protocol", choices=protocol_names, default="1PC")
     p.add_argument("--n", type=int, default=30, help="burst size")
     p.add_argument("--seed", type=int, default=0, help="base seed for the cell")
     p.add_argument(
@@ -492,6 +536,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache_cli.add_arguments(p)
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "protocols",
+        help="list registered commit protocols (drives the CI conformance matrix)",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable spec dump (one object per protocol)")
+    p.set_defaults(func=_cmd_protocols)
 
     return parser
 

@@ -44,10 +44,12 @@ from repro.net.message import Message
 from repro.protocols.base import (
     MsgKind,
     Protocol,
+    ProtocolSpec,
     Transaction,
     TransactionAborted,
     register_protocol,
 )
+from repro.protocols.registry import CAP_SHARED_LOG
 from repro.storage.fencing import FencedError
 from repro.storage.records import RecordKind
 from repro.storage.wal import LogLostError
@@ -57,7 +59,6 @@ from repro.storage.wal import LogLostError
 ACK_WAIT_FACTOR = 5
 
 
-@register_protocol
 class OnePhaseCommitProtocol(Protocol):
     """The paper's tailored one-phase atomic commitment protocol."""
 
@@ -65,6 +66,15 @@ class OnePhaseCommitProtocol(Protocol):
     #: §III: the protocol is designed for namespace operations that
     #: involve exactly two MDSs (one coordinator + one worker).
     max_workers = 1
+
+    def claims_worker_message(self, msg: Message) -> bool:
+        """1PC marks its UPDATE_REQ with ``commit=True``; a bare
+        UPDATE_REQ or a PREPARE belongs to the 2PC-family fallback."""
+        if msg.kind == MsgKind.UPDATE_REQ and not msg.payload.get("commit"):
+            return False
+        if msg.kind == MsgKind.PREPARE:
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Coordinator
@@ -484,3 +494,22 @@ class OnePhaseCommitProtocol(Protocol):
 
                 return re_ack()
         return super().handle_stray(msg)
+
+
+register_protocol(
+    ProtocolSpec(
+        name="1PC",
+        engine=OnePhaseCommitProtocol,
+        summary="The paper's One Phase Commit over a shared log (§III)",
+        log_records=("STARTED", "REDO", "UPDATES", "COMMITTED", "ABORTED", "ENDED"),
+        capabilities=frozenset({CAP_SHARED_LOG}),
+        paper_figure6=24.0,
+        table1_row=(3, 1, 2, 0, 1, 0),
+        citation=(
+            "Congiu, Narasimhamurthy, Suess & Brinkmann, 'One Phase Commit: "
+            "A Low Overhead Atomic Commitment Protocol for Scalable Metadata "
+            "Services' (CLUSTER 2012)"
+        ),
+        order=3,
+    )
+)

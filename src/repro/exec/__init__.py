@@ -21,7 +21,6 @@ from repro.exec.executor import (
     run_grid,
 )
 from repro.exec.grids import (
-    DEFAULT_PROTOCOLS,
     abort_rate_grid,
     burst_size_grid,
     disk_bandwidth_grid,
@@ -40,7 +39,6 @@ from repro.exec.runners import execute_spec, register_runner
 from repro.exec.spec import CellResult, RunSpec, derive_seed
 
 __all__ = [
-    "DEFAULT_PROTOCOLS",
     "CellResult",
     "ExperimentError",
     "ProgressEvent",

@@ -14,17 +14,18 @@ from typing import Optional, Sequence
 
 from repro.config import SimulationParams
 from repro.exec.spec import RunSpec
-
-DEFAULT_PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
+from repro.protocols.registry import default_protocols
 
 
 def figure6_grid(
     n: int = 100,
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     params: Optional[SimulationParams] = None,
     seed: int = 0,
 ) -> list[RunSpec]:
     """The Figure 6 experiment: one burst of ``n`` per protocol."""
+    if protocols is None:
+        protocols = default_protocols()
     return [
         RunSpec(kind="burst", protocol=proto, n=n, seed=seed, point=proto, params=params)
         for proto in protocols
@@ -33,12 +34,14 @@ def figure6_grid(
 
 def network_latency_grid(
     latencies: Sequence[float],
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     n: int = 50,
     params: Optional[SimulationParams] = None,
     seed: int = 0,
 ) -> list[RunSpec]:
     """Throughput sensitivity to one-way network latency."""
+    if protocols is None:
+        protocols = default_protocols()
     base = params or SimulationParams.paper_defaults()
     return [
         RunSpec(
@@ -56,12 +59,14 @@ def network_latency_grid(
 
 def disk_bandwidth_grid(
     bandwidths: Sequence[float],
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     n: int = 50,
     params: Optional[SimulationParams] = None,
     seed: int = 0,
 ) -> list[RunSpec]:
     """Throughput sensitivity to log-device bandwidth."""
+    if protocols is None:
+        protocols = default_protocols()
     base = params or SimulationParams.paper_defaults()
     return [
         RunSpec(
@@ -79,11 +84,13 @@ def disk_bandwidth_grid(
 
 def burst_size_grid(
     sizes: Sequence[int],
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     params: Optional[SimulationParams] = None,
     seed: int = 0,
 ) -> list[RunSpec]:
     """Contention scaling on one directory."""
+    if protocols is None:
+        protocols = default_protocols()
     return [
         RunSpec(kind="burst", protocol=proto, n=size, seed=seed, point=size, params=params)
         for size in sizes
@@ -93,12 +100,14 @@ def burst_size_grid(
 
 def abort_rate_grid(
     rates: Sequence[float],
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     n: int = 50,
     params: Optional[SimulationParams] = None,
     seed: int = 0,
 ) -> list[RunSpec]:
     """Committed throughput under a fraction of refused votes."""
+    if protocols is None:
+        protocols = default_protocols()
     return [
         RunSpec(
             kind="abort_burst",

@@ -20,8 +20,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Paper's Figure 6 values (distributed transactions per second).
 PAPER_FIGURE6 = {"PrN": 15.0, "PrC": 15.06, "EP": 16.0, "1PC": 24.0}
 
-DEFAULT_PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
-
 
 @dataclass(frozen=True)
 class Figure6Result:
@@ -61,7 +59,7 @@ class Figure6Result:
 
 
 def run_figure6(
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     n: int = 100,
     params: Optional[SimulationParams] = None,
     workers: int = 1,

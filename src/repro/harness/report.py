@@ -19,8 +19,7 @@ from repro.harness.recovery import (
     measure_worker_crash_recovery,
 )
 from repro.harness.table1 import run_table1
-
-PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
+from repro.protocols.registry import default_protocols
 
 
 def generate_report(
@@ -72,7 +71,7 @@ def generate_report(
 
     sections.append("")
     rows = []
-    for protocol in PROTOCOLS:
+    for protocol in default_protocols():
         w = measure_worker_crash_recovery(protocol, params=params)
         c = measure_coordinator_crash_recovery(protocol, params=params)
         rows.append(

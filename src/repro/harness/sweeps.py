@@ -30,9 +30,6 @@ from repro.exec import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache import ResultCache
 
-DEFAULT_PROTOCOLS = ("PrN", "PrC", "EP", "1PC")
-
-
 def _fold(cells: Sequence[CellResult]) -> dict:
     """Cells (point-major order) -> ``{point: {protocol: throughput}}``."""
     out: dict = {}
@@ -43,7 +40,7 @@ def _fold(cells: Sequence[CellResult]) -> dict:
 
 def sweep_network_latency(
     latencies: Sequence[float],
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     n: int = 50,
     params: Optional[SimulationParams] = None,
     workers: int = 1,
@@ -56,7 +53,7 @@ def sweep_network_latency(
 
 def sweep_disk_bandwidth(
     bandwidths: Sequence[float],
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     n: int = 50,
     params: Optional[SimulationParams] = None,
     workers: int = 1,
@@ -69,7 +66,7 @@ def sweep_disk_bandwidth(
 
 def sweep_burst_size(
     sizes: Sequence[int],
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     params: Optional[SimulationParams] = None,
     workers: int = 1,
     cache: "Optional[ResultCache]" = None,
@@ -81,7 +78,7 @@ def sweep_burst_size(
 
 def sweep_abort_rate(
     rates: Sequence[float],
-    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     n: int = 50,
     params: Optional[SimulationParams] = None,
     seed: int = 7,

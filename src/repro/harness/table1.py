@@ -1,11 +1,32 @@
-"""Table I: log writes and messages per protocol, analytical + measured."""
+"""Table I: log writes and messages per protocol, analytical + measured.
+
+The protocol list comes from the plug-in registry
+(:mod:`repro.protocols.registry`): the paper's four rows are rendered
+against :data:`~repro.analysis.costs.TABLE1`, extension protocols
+against the ``table1_row`` their :class:`~repro.protocols.registry.ProtocolSpec`
+declares, and a protocol with neither shows its measured counts alone.
+"""
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.costs import TABLE1, CostRow, measure_protocol_costs
 from repro.analysis.tables import render_table
+from repro.protocols.registry import default_protocols, get_spec
 
-PROTOCOL_ORDER = ("PrN", "PrC", "EP", "1PC")
+
+def reference_row(name: str) -> Optional[CostRow]:
+    """The analytical Table-I row claimed for ``name``.
+
+    The paper's table (:data:`TABLE1`) wins; extension protocols fall
+    back to the ``table1_row`` declared on their spec; ``None`` when no
+    analytical row is claimed.
+    """
+    if name in TABLE1:
+        return TABLE1[name]
+    row = get_spec(name).table1_row
+    return CostRow(*row) if row is not None else None
 
 
 def run_table1(measured: bool = True) -> str:
@@ -19,25 +40,20 @@ def run_table1(measured: bool = True) -> str:
         "Messages in Critical Path",
     ]
     rows = []
-    for name in PROTOCOL_ORDER:
-        paper = TABLE1[name]
+    for name in default_protocols():
+        paper = reference_row(name)
         if measured:
             m = measure_protocol_costs(name).row
             rows.append(
                 [
                     name,
-                    _pair(paper.sync_total, paper.async_total, m.sync_total, m.async_total),
-                    _pair(
-                        paper.sync_critical,
-                        paper.async_critical,
-                        m.sync_critical,
-                        m.async_critical,
-                    ),
-                    _single(paper.msgs_total, m.msgs_total),
-                    _single(paper.msgs_critical, m.msgs_critical),
+                    _pair(paper, "sync_total", "async_total", m),
+                    _pair(paper, "sync_critical", "async_critical", m),
+                    _single(paper, "msgs_total", m),
+                    _single(paper, "msgs_critical", m),
                 ]
             )
-        else:
+        elif paper is not None:
             rows.append(
                 [
                     name,
@@ -51,14 +67,19 @@ def run_table1(measured: bool = True) -> str:
     return render_table(headers, rows, title="Table I" + suffix)
 
 
-def _pair(ps: int, pa: int, ms: int, ma: int) -> str:
-    return f"({ps}, {pa}) [({ms}, {ma})]"
+def _pair(paper: Optional[CostRow], sync: str, async_: str, m: CostRow) -> str:
+    got = f"({getattr(m, sync)}, {getattr(m, async_)})"
+    if paper is None:
+        return f"- [{got}]"
+    return f"({getattr(paper, sync)}, {getattr(paper, async_)}) [{got}]"
 
 
-def _single(p: int, m: int) -> str:
-    return f"{p} [{m}]"
+def _single(paper: Optional[CostRow], field: str, m: CostRow) -> str:
+    if paper is None:
+        return f"- [{getattr(m, field)}]"
+    return f"{getattr(paper, field)} [{getattr(m, field)}]"
 
 
 def measured_rows() -> dict[str, CostRow]:
-    """Measured Table I rows for every protocol."""
-    return {name: measure_protocol_costs(name).row for name in PROTOCOL_ORDER}
+    """Measured Table I rows for every registered protocol."""
+    return {name: measure_protocol_costs(name).row for name in default_protocols()}

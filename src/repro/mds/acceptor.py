@@ -1,0 +1,131 @@
+"""Paxos Commit acceptor nodes.
+
+Paxos Commit (Gray & Lamport) replaces 2PC's single point of failure —
+the coordinator's commit record — with one Paxos consensus instance per
+participant, run over ``2F + 1`` acceptor processes.  A participant's
+PREPARED vote is durable once a majority of acceptors have accepted it
+into that participant's instance; the transaction commits when every
+instance has a majority-accepted PREPARED ballot.
+
+An :class:`AcceptorNode` is deliberately small: it is not a metadata
+server (it holds no namespace state and takes no locks), it just
+accepts ballots durably and reports them to the leader.
+
+Wire protocol:
+
+* ``PAXOS_VOTE(instance, vote, leader)`` -- a participant announces its
+  vote for its own instance; the acceptor forces a BALLOT record and
+  replies ``PAXOS_ACCEPTED(instance, vote)`` to the leader.  Duplicate
+  votes (retransmissions, recovery re-announcements) are acknowledged
+  from the already-durable ballot without a second log force.
+* ``PAXOS_GC(txn_id)`` -- the leader releases the ballots of a finished
+  transaction; the acceptor checkpoints its log.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.net.message import Message
+from repro.protocols.base import MsgKind
+from repro.sim import Process
+from repro.storage.records import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mds.cluster import Cluster
+
+
+class AcceptorNode:
+    """One of the 2F+1 Paxos Commit acceptor processes."""
+
+    def __init__(self, cluster: "Cluster", name: str):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.name = name
+        self.params = cluster.params
+        self.obs = cluster.obs
+        self.endpoint = cluster.network.attach(name)
+        self.wal = cluster.storage.provision(name)
+        self.crashed = False
+        self._dispatcher: Optional[Process] = None
+        self._start_dispatcher()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _start_dispatcher(self) -> None:
+        self._dispatcher = self.sim.process(
+            self._dispatch_loop(), name=f"dispatch:{self.name}"
+        )
+
+    def _dispatch_loop(self) -> Generator:
+        cost = self.params.compute.msg_processing_latency
+        while True:
+            msg = yield self.endpoint.receive()
+            if cost > 0.0:
+                yield self.sim.timeout(cost)
+            if msg.kind == MsgKind.PAXOS_VOTE:
+                self.sim.process(
+                    self._accept(msg), name=f"accept:{self.name}:{msg.txn_id}"
+                )
+            elif msg.kind == MsgKind.PAXOS_GC:
+                self.wal.checkpoint(msg.txn_id)
+            # Anything else is a stray retransmission; drop it.
+
+    def _accept(self, msg: Message) -> Generator:
+        """Accept a ballot into ``instance``'s consensus slot (durably)."""
+        txn_id = msg.txn_id
+        instance = msg.payload["instance"]
+        vote = msg.payload.get("vote", MsgKind.PREPARED)
+        leader = msg.payload["leader"]
+        if not self._has_ballot(txn_id, instance):
+            yield from self.wal.force(self._ballot_rec(txn_id, instance, vote))
+        # Acknowledge from durable state — idempotent under retransmits.
+        self.endpoint.send_to(
+            leader,
+            MsgKind.PAXOS_ACCEPTED,
+            txn_id=txn_id,
+            instance=instance,
+            vote=vote,
+        )
+
+    def _has_ballot(self, txn_id: int, instance: str) -> bool:
+        for record in self.wal.records_for(txn_id):
+            if record.kind == RecordKind.BALLOT and record.payload.get("instance") == instance:
+                return True
+        return False
+
+    def _ballot_rec(self, txn_id: int, instance: str, vote: str) -> LogRecord:
+        return LogRecord(
+            kind=RecordKind.BALLOT,
+            txn_id=txn_id,
+            size=self.params.storage.state_record_size,
+            payload={"instance": instance, "vote": vote, "proto": "PC"},
+        )
+
+    # ------------------------------------------------------------------
+    # Crash / restart (acceptors are the protocol's redundancy)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Hard failure: ballots survive in the log, everything else dies."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.obs.node_crash(self.name)
+        if self._dispatcher is not None:
+            self._dispatcher.kill()
+            self._dispatcher = None
+        self.cluster.network.detach(self.name)
+        self.wal.crash()
+
+    def restart(self) -> None:
+        """Reboot: durable ballots answer retransmitted votes."""
+        if not self.crashed:
+            raise RuntimeError(f"{self.name} is not crashed")
+        self.crashed = False
+        self.obs.node_restart(self.name)
+        self.cluster.network.attach(self.name)
+        self.wal.restart()
+        self._start_dispatcher()

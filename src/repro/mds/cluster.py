@@ -36,13 +36,21 @@ from repro.fs import MetadataStore, ObjectId, check_invariants
 from repro.fs.invariants import InvariantViolation
 from repro.fs.operations import InodeAllocator, split_path
 from repro.fs.placement import HashPlacement, PinnedPlacement, PlacementPolicy
+from repro.mds.acceptor import AcceptorNode
 from repro.mds.client import Client
 from repro.mds.heartbeat import FailureDetector, HeartbeatService
+from repro.mds.replica import BackupReplica
 from repro.mds.server import MDSServer
 from repro.net import Network
 from repro.obs import Observability
 from repro.protocols import PROTOCOLS
 from repro.protocols.base import TxnOutcome
+from repro.protocols.registry import (
+    CAP_LOGLESS,
+    CAP_NEEDS_ACCEPTORS,
+    CAP_SHARED_LOG,
+    get_spec,
+)
 from repro.sim import RngRegistry, Simulator
 from repro.storage import (
     PersistentReservationDriver,
@@ -157,14 +165,18 @@ class Cluster:
         self.trace = self.obs.trace
         self.rng = RngRegistry(self.params.seed)
         self.network = Network(self.sim, self.params.network, rng=self.rng, obs=self.obs)
-        # The 1PC architecture keeps every log on central storage; the
-        # 2PC family traditionally uses per-node devices.  The device
-        # *model* is identical either way (see StorageParams); shared
-        # storage additionally allows remote log reads.
+        # Cluster topology is capability-driven: the protocol's spec
+        # declares what infrastructure it runs on.  A shared-log
+        # architecture keeps every log on central storage (the 1PC
+        # design, §III); the 2PC family traditionally uses per-node
+        # devices.  The device *model* is identical either way (see
+        # StorageParams); shared storage additionally allows remote
+        # log reads.
+        spec = get_spec(protocol)
         self.storage = SharedStorage(
             self.sim,
             self.params.storage,
-            shared_device=(protocol == "1PC"),
+            shared_device=(CAP_SHARED_LOG in spec.capabilities),
             obs=self.obs,
         )
         self.failure_detector = FailureDetector(
@@ -180,6 +192,23 @@ class Cluster:
             if fallback not in PROTOCOLS:
                 raise ValueError(f"unknown fallback protocol {fallback!r}")
             fallback_cls = PROTOCOLS[fallback]
+
+        # Protocol-declared infrastructure: acceptor processes for
+        # Paxos Commit, backup replicas for the logless 1PC.  The
+        # fallback's needs are honoured too (it runs on the same
+        # cluster).
+        caps = set(spec.capabilities)
+        if fallback_cls is not None:
+            caps |= set(get_spec(fallback).capabilities)
+        self.acceptors: dict[str, AcceptorNode] = {}
+        if CAP_NEEDS_ACCEPTORS in caps:
+            for i in range(1, getattr(protocol_cls, "n_acceptors", 3) + 1):
+                name = f"acc{i}"
+                self.acceptors[name] = AcceptorNode(self, name)
+        self.backups: dict[str, BackupReplica] = {}
+        if CAP_LOGLESS in caps:
+            for name in server_names:
+                self.backups[name] = BackupReplica(self, name)
 
         self._stores: dict[str, MetadataStore] = {}
         self.servers: dict[str, MDSServer] = {}
@@ -275,6 +304,15 @@ class Cluster:
         if name not in self._stores:
             self._stores[name] = MetadataStore(name)
         return self._stores[name]
+
+    @property
+    def acceptor_names(self) -> tuple[str, ...]:
+        """The Paxos Commit acceptor nodes (empty for other protocols)."""
+        return tuple(sorted(self.acceptors))
+
+    def backup_of(self, name: str) -> BackupReplica:
+        """The backup replica of MDS ``name`` (logless protocols only)."""
+        return self.backups[name]
 
     def server_names(self) -> list[str]:
         return sorted(self.servers)

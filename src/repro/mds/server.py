@@ -147,17 +147,16 @@ class MDSServer:
     def _engine_for(self, msg: Message) -> Protocol:
         """Route worker-side traffic to the engine that speaks it.
 
-        The 1PC engine marks its UPDATE_REQ with ``commit=True``; the
-        fallback (2PC-family) engine is used for everything else when
+        Each engine declares which worker-side messages it speaks via
+        :meth:`Protocol.claims_worker_message` (e.g. the 1PC engine
+        marks its UPDATE_REQ with ``commit=True`` and disowns bare
+        PREPAREs); disowned traffic goes to the fallback engine when
         one is configured.
         """
         if self.fallback is None:
             return self.protocol
-        if self.protocol.name == "1PC":
-            if msg.kind == MsgKind.UPDATE_REQ and not msg.payload.get("commit"):
-                return self.fallback
-            if msg.kind == MsgKind.PREPARE:
-                return self.fallback
+        if not self.protocol.claims_worker_message(msg):
+            return self.fallback
         return self.protocol
 
     def _start_coordinator(self, msg: Message) -> None:

@@ -36,6 +36,12 @@ PROTOCOL_MSG_KINDS = frozenset(
         "ACK",
         "DECISION_REQ",
         "ACK_REQ",
+        # Paxos Commit (acceptor traffic is protocol traffic).
+        "PAXOS_VOTE",
+        "PAXOS_ACCEPTED",
+        # Logless 1PC (synchronous replication replaces the WAL).
+        "REPLICATE",
+        "REPLICATED",
     }
 )
 

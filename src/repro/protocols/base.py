@@ -18,17 +18,38 @@ arriving after a crash or after checkpointing).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Generator, Iterable, Optional, Type
+from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional, Sequence
 
 from repro.fs.objects import ObjectId, Update, update_from_description
 from repro.fs.operations import OpPlan
 from repro.locks import LockMode, LockTimeout
 from repro.net.message import Message
+from repro.protocols.registry import PROTOCOLS, ProtocolSpec, register_protocol
 from repro.sim import AnyOf
 from repro.storage.records import LogRecord, RecordKind
 
+__all__ = [
+    "PROTOCOLS",
+    "SESSION_OPENERS",
+    "MsgKind",
+    "Protocol",
+    "ProtocolSpec",
+    "Transaction",
+    "TransactionAborted",
+    "TxnOutcome",
+    "register_protocol",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import SimulationParams
+    from repro.fs.store import MetadataStore
+    from repro.locks.manager import LockManager
     from repro.mds.server import MDSServer
+    from repro.obs.hub import Observability
+    from repro.sim.kernel import Simulator
+    from repro.sim.monitor import TraceLog
+    from repro.sim.resources import Store
+    from repro.storage.wal import WriteAheadLog
 
 
 class MsgKind:
@@ -52,6 +73,26 @@ class MsgKind:
     #: Recovery (1PC): a restarted worker asks for the ACK to be resent.
     ACK_REQ = "ACK_REQ"
     HEARTBEAT = "HEARTBEAT"
+    #: Paxos Commit: a participant announces its prepared vote to the
+    #: acceptors; an acceptor reports the accepted ballot to the leader.
+    PAXOS_VOTE = "PAXOS_VOTE"
+    PAXOS_ACCEPTED = "PAXOS_ACCEPTED"
+    #: Paxos Commit housekeeping: the leader releases the acceptors'
+    #: ballot records once the outcome is fully acknowledged.
+    PAXOS_GC = "PAXOS_GC"
+    #: Logless 1PC: synchronous replication to a backup replica (the
+    #: logless substitute for a WAL force) and its acknowledgement.
+    REPLICATE = "REPLICATE"
+    REPLICATED = "REPLICATED"
+    #: Logless 1PC: the backup refused a replication for a sealed txn.
+    REPLICATE_REJECTED = "REPLICATE_REJECTED"
+    #: Logless 1PC recovery: seal-and-query a peer's backup state,
+    #: fetch a full snapshot after reboot, release entries when done.
+    LGL_QUERY = "LGL_QUERY"
+    LGL_STATE = "LGL_STATE"
+    LGL_FETCH = "LGL_FETCH"
+    LGL_SNAPSHOT = "LGL_SNAPSHOT"
+    LGL_GC = "LGL_GC"
 
 
 #: Message kinds that may open a new worker session.
@@ -61,7 +102,7 @@ SESSION_OPENERS = frozenset({MsgKind.UPDATE_REQ, MsgKind.PREPARE})
 class TransactionAborted(Exception):
     """Internal control-flow signal: the transaction must be aborted."""
 
-    def __init__(self, reason: str):
+    def __init__(self, reason: str) -> None:
         super().__init__(reason)
         self.reason = reason
 
@@ -101,33 +142,32 @@ class TxnOutcome:
         return self.replied_at - self.submitted_at
 
 
-#: name -> protocol class registry.
-PROTOCOLS: dict[str, Type["Protocol"]] = {}
-
-
-def register_protocol(cls: Type["Protocol"]) -> Type["Protocol"]:
-    """Class decorator registering a protocol under ``cls.name``."""
-    if not getattr(cls, "name", None):
-        raise ValueError(f"{cls.__name__} has no protocol name")
-    PROTOCOLS[cls.name] = cls
-    return cls
-
-
 class Protocol:
-    """Base class with the machinery all four protocols share."""
+    """Base class with the machinery every protocol engine shares."""
 
-    #: Registry name ("PrN", "PrC", "EP", "1PC").
+    #: Registry name ("PrN", "PrC", "EP", "1PC", ...).
     name = ""
     #: Maximum number of workers the protocol supports (None = any).
     max_workers: Optional[int] = None
 
-    def __init__(self, server: "MDSServer"):
+    def __init__(self, server: "MDSServer") -> None:
         self.server = server
+
+    def claims_worker_message(self, msg: Message) -> bool:
+        """Whether this engine speaks ``msg`` on the worker side.
+
+        Servers running a primary + fallback engine pair route each
+        sessionless protocol message to the primary only when it claims
+        the message; engines whose wire format is distinguishable (1PC
+        marks its UPDATE_REQ with ``commit=True``) override this so
+        fallback traffic reaches the fallback engine.
+        """
+        return True
 
     # -- convenience accessors ------------------------------------------------
 
     @property
-    def sim(self):
+    def sim(self) -> "Simulator":
         return self.server.sim
 
     @property
@@ -135,32 +175,32 @@ class Protocol:
         return self.server.name
 
     @property
-    def wal(self):
+    def wal(self) -> "WriteAheadLog":
         return self.server.wal
 
     @property
-    def locks(self):
+    def locks(self) -> "LockManager":
         return self.server.locks
 
     @property
-    def store(self):
+    def store(self) -> "MetadataStore":
         return self.server.store
 
     @property
-    def params(self):
+    def params(self) -> "SimulationParams":
         return self.server.params
 
     @property
-    def trace(self):
+    def trace(self) -> "TraceLog":
         return self.server.trace
 
     @property
-    def obs(self):
+    def obs(self) -> "Observability":
         return self.server.obs
 
     # -- log-record construction ------------------------------------------------
 
-    def state_rec(self, kind: RecordKind, txn_id: int, **payload) -> LogRecord:
+    def state_rec(self, kind: RecordKind, txn_id: int, **payload: Any) -> LogRecord:
         sizes = {
             RecordKind.STARTED: self.params.storage.start_record_size,
             RecordKind.ENDED: self.params.storage.end_record_size,
@@ -187,7 +227,7 @@ class Protocol:
             payload={"plan": plan.describe(), "proto": self.name},
         )
 
-    def owns_txn(self, records) -> bool:
+    def owns_txn(self, records: Sequence[LogRecord]) -> bool:
         """Whether this engine wrote the transaction's log records.
 
         A server may run two engines (primary + fallback); each only
@@ -226,12 +266,12 @@ class Protocol:
             except UpdateError as exc:
                 raise TransactionAborted(str(exc))
 
-    def send(self, dst: str, kind: str, txn_id: int, **payload) -> None:
+    def send(self, dst: str, kind: str, txn_id: int, **payload: Any) -> None:
         self.server.endpoint.send_to(dst, kind, txn_id=txn_id, **payload)
 
     def recv(
         self,
-        inbox,
+        inbox: "Store",
         kinds: Optional[frozenset] = None,
         timeout: Optional[float] = None,
         from_: Optional[str] = None,
@@ -343,7 +383,7 @@ class Protocol:
         """Run the transaction as coordinator; returns a TxnOutcome."""
         raise NotImplementedError
 
-    def worker_session(self, first: Message, inbox) -> Generator:  # pragma: no cover
+    def worker_session(self, first: Message, inbox: "Store") -> Generator:  # pragma: no cover
         """Participate in a remote transaction; ``first`` opened it."""
         raise NotImplementedError
 
@@ -370,7 +410,7 @@ class Protocol:
         if msg.kind == MsgKind.ACK and self.wal.last_state(msg.txn_id) == RecordKind.ABORTED:
             # A worker finally acknowledged an abort whose session is
             # long gone: the abort information may now be forgotten.
-            def gc():
+            def gc() -> Generator:
                 self.wal.checkpoint(msg.txn_id)
                 return None
                 yield  # pragma: no cover - generator marker
@@ -381,7 +421,7 @@ class Protocol:
         return None
 
     def _stray_reply(self, msg: Message, kind: str) -> Generator:
-        def responder():
+        def responder() -> Generator:
             self.send(msg.src, kind, msg.txn_id)
             return None
             yield  # pragma: no cover - makes this a generator
@@ -391,7 +431,7 @@ class Protocol:
     def _answer_decision_req(self, msg: Message) -> Generator:
         """Coordinator-side: a restarted worker asks for the outcome."""
 
-        def responder():
+        def responder() -> Generator:
             state = self.wal.last_state(msg.txn_id)
             if state in (RecordKind.COMMITTED, RecordKind.ENDED):
                 self.send(msg.src, MsgKind.COMMIT, msg.txn_id)

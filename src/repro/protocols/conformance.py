@@ -14,7 +14,13 @@ this kit to check the non-negotiable obligations:
    lock-trace precedence graph is acyclic) and exactly one of two
    same-name creates wins;
 5. **log hygiene** — after a committed transaction settles, both
-   write-ahead logs are garbage collected.
+   write-ahead logs are garbage collected;
+6. **fault atomicity** — under the named :mod:`repro.faults` scenarios
+   that apply to any protocol family (worker crash mid-execution,
+   coordinator partitioned at the vote, a refused vote), the namespace
+   settles all-or-nothing with a serialisable lock trace.  (Scenarios
+   triggered by ``log_durable`` trace records are left to the crash
+   sweep — they never fire for logless protocols.)
 
 ``check_protocol`` returns a :class:`ConformanceReport`;
 ``tests/protocols/test_conformance.py`` runs it for every registered
@@ -24,9 +30,23 @@ protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.mds.client import Client
+    from repro.mds.cluster import Cluster
 
 DEFAULT_CRASH_POINTS = (0.5e-3, 2e-3, 4e-3, 7e-3)
+
+#: Named fault scenarios every protocol must survive atomically.
+#: Restricted to triggers that fire for any protocol family; the
+#: ``log_durable``-predicated scenarios never trigger for logless
+#: protocols and are covered by the crash-point sweep instead.
+FAULT_SCENARIOS = (
+    "worker-crash-before-commit",
+    "partition-at-vote",
+    "vote-refusal",
+)
 
 
 @dataclass
@@ -51,13 +71,13 @@ class ConformanceReport:
         return f"<Conformance {self.protocol}: {self.checks_run} checks, {status}>"
 
 
-def _fresh(protocol):
+def _fresh(protocol: str) -> "tuple[Cluster, Client]":
     from repro.harness.scenarios import distributed_create_cluster
 
     return distributed_create_cluster(protocol)
 
 
-def _atomic_state(cluster):
+def _atomic_state(cluster: "Cluster") -> tuple[bool, bool]:
     dentry = cluster.store_of("mds1").stable_directories.get("/dir1", {}).get("f0")
     inodes = cluster.store_of("mds2").stable_inodes
     return (dentry is not None, len(inodes) > 0)
@@ -75,6 +95,8 @@ def check_protocol(
     for victim in ("mds1", "mds2"):
         for crash_at in crash_points:
             _check_crash_atomicity(protocol, victim, crash_at, settle, report)
+    for name in FAULT_SCENARIOS:
+        _check_fault_atomicity(protocol, name, settle, report)
     _check_isolation(protocol, report)
     return report
 
@@ -131,6 +153,27 @@ def _check_crash_atomicity(
     report.record(cluster.check_invariants() == [], f"{label} violated invariants")
     dentry, inode = _atomic_state(cluster)
     report.record(dentry == inode, f"{label} left a partial transaction")
+
+
+def _check_fault_atomicity(
+    protocol: str, name: str, settle: float, report: ConformanceReport
+) -> None:
+    """One distributed CREATE under a named fault scenario must settle
+    all-or-nothing with clean invariants and a serialisable trace."""
+    from repro.analysis.serializability import precedence_graph
+    from repro.faults import scenario
+    from repro.locks import find_deadlock_cycle
+
+    cluster, client = _fresh(protocol)
+    scenario(name).install(cluster)
+    client.submit(client.plan_create("/dir1/f0"))
+    cluster.sim.run(until=cluster.sim.now + settle)
+    label = f"{protocol}: scenario {name!r}"
+    report.record(cluster.check_invariants() == [], f"{label} violated invariants")
+    dentry, inode = _atomic_state(cluster)
+    report.record(dentry == inode, f"{label} left a partial transaction")
+    cycle = find_deadlock_cycle(set(precedence_graph(cluster.trace)))
+    report.record(cycle is None, f"{label} produced conflict cycle {cycle}")
 
 
 def _check_isolation(protocol: str, report: ConformanceReport) -> None:

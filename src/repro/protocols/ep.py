@@ -30,11 +30,12 @@ critical path.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import TYPE_CHECKING, Generator
 
 from repro.net.message import Message
 from repro.protocols.base import (
     MsgKind,
+    ProtocolSpec,
     Transaction,
     TransactionAborted,
     register_protocol,
@@ -42,14 +43,16 @@ from repro.protocols.base import (
 from repro.protocols.prc import PresumeCommitProtocol
 from repro.storage.records import RecordKind
 
+if TYPE_CHECKING:
+    from repro.sim.resources import Store
 
-@register_protocol
+
 class EarlyPrepareProtocol(PresumeCommitProtocol):
     """PrC with the execution piggybacked into the voting phase."""
 
     name = "EP"
 
-    def _coordinate_body(self, txn: Transaction, inbox) -> Generator:
+    def _coordinate_body(self, txn: Transaction, inbox: "Store") -> Generator:
         plan, txn_id = txn.plan, txn.txn_id
         yield from self.lock_all(txn_id, plan.locks(self.me))
         yield from self.apply_updates(txn_id, plan.updates[self.me])
@@ -83,7 +86,7 @@ class EarlyPrepareProtocol(PresumeCommitProtocol):
         self.wal.checkpoint(txn_id)
         return self.outcome(txn, committed=True, replied_at=replied_at)
 
-    def _collect_piggybacked_votes(self, txn: Transaction, inbox) -> Generator:
+    def _collect_piggybacked_votes(self, txn: Transaction, inbox: "Store") -> Generator:
         pending = set(txn.workers)
         while pending:
             msg = yield from self.recv(
@@ -104,7 +107,7 @@ class EarlyPrepareProtocol(PresumeCommitProtocol):
     # Worker
     # ------------------------------------------------------------------
 
-    def worker_session(self, first: Message, inbox) -> Generator:
+    def worker_session(self, first: Message, inbox: "Store") -> Generator:
         txn_id, coordinator = first.txn_id, first.src
         try:
             if first.kind != MsgKind.UPDATE_REQ or not first.payload.get("prepare"):
@@ -126,7 +129,7 @@ class EarlyPrepareProtocol(PresumeCommitProtocol):
                 return None
             # Autonomous prepare, then the combined UPDATED+PREPARED reply.
             yield from self._worker_prepare(txn_id, coordinator)
-            self.send(coordinator, MsgKind.PREPARED, txn_id)
+            self._announce_vote(txn_id, coordinator)
 
             msg = yield from self._await_decision(txn_id, coordinator, inbox)
             if msg is None:
@@ -141,3 +144,20 @@ class EarlyPrepareProtocol(PresumeCommitProtocol):
             return None
         finally:
             self.server.close_session(txn_id)
+
+
+register_protocol(
+    ProtocolSpec(
+        name="EP",
+        engine=EarlyPrepareProtocol,
+        summary="Early Prepare: voting piggybacked on execution (§II-E)",
+        log_records=("STARTED", "UPDATES", "PREPARED", "COMMITTED", "ABORTED", "ENDED"),
+        paper_figure6=16.0,
+        table1_row=(4, 1, 3, 0, 1, 0),
+        citation=(
+            "Stamos & Cristian, 'Coordinator Log Transaction Execution "
+            "Protocol' (Distributed and Parallel Databases, 1993)"
+        ),
+        order=2,
+    )
+)

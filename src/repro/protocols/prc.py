@@ -23,11 +23,10 @@ path.
 
 from __future__ import annotations
 
-from repro.protocols.base import MsgKind, register_protocol
+from repro.protocols.base import MsgKind, ProtocolSpec, register_protocol
 from repro.protocols.prn import PresumeNothingProtocol
 
 
-@register_protocol
 class PresumeCommitProtocol(PresumeNothingProtocol):
     """2PC with the presumed-commit optimisation."""
 
@@ -47,3 +46,20 @@ class PresumeCommitProtocol(PresumeNothingProtocol):
         # The defining rule: an absent coordinator log entry means the
         # transaction committed.
         return MsgKind.COMMIT
+
+
+register_protocol(
+    ProtocolSpec(
+        name="PrC",
+        engine=PresumeCommitProtocol,
+        summary="2PC with the presumed-commit optimisation (§II-D)",
+        log_records=("STARTED", "UPDATES", "PREPARED", "COMMITTED", "ABORTED", "ENDED"),
+        paper_figure6=15.06,
+        table1_row=(4, 1, 3, 0, 3, 2),
+        citation=(
+            "Mohan, Lindsay & Obermarck, 'Transaction Management in the R* "
+            "Distributed Database Management System' (TODS 1986)"
+        ),
+        order=1,
+    )
+)

@@ -28,18 +28,26 @@ path because the client reply waits for the ACK.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Sequence
+
+from repro.fs.objects import ObjectId, Update
 
 from repro.net.message import Message
 from repro.protocols.base import (
     MsgKind,
     Protocol,
+    ProtocolSpec,
     Transaction,
     TransactionAborted,
     register_protocol,
 )
-from repro.storage.records import RecordKind
+from repro.storage.records import LogRecord, RecordKind
 from repro.storage.wal import LogLostError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.events import Event
+    from repro.sim.process import Process
+    from repro.sim.resources import Store
 
 #: How many times a coordinator retransmits COMMIT/ABORT waiting for ACK.
 ACK_RETRIES = 5
@@ -50,7 +58,6 @@ ACK_RETRIES = 5
 DECISION_RETRIES = 100
 
 
-@register_protocol
 class PresumeNothingProtocol(Protocol):
     """The classic 2PC protocol; generalises to any number of workers."""
 
@@ -87,7 +94,7 @@ class PresumeNothingProtocol(Protocol):
         finally:
             self.server.close_session(txn.txn_id)
 
-    def _coordinate_body(self, txn: Transaction, inbox) -> Generator:
+    def _coordinate_body(self, txn: Transaction, inbox: "Store") -> Generator:
         plan, txn_id = txn.plan, txn.txn_id
         # Growing phase of 2PL, then the local cache updates.
         yield from self.lock_all(txn_id, plan.locks(self.me))
@@ -129,7 +136,7 @@ class PresumeNothingProtocol(Protocol):
         self.wal.checkpoint(txn_id)
         return self.outcome(txn, committed=True, replied_at=replied_at)
 
-    def _execution_round(self, txn: Transaction, inbox) -> Generator:
+    def _execution_round(self, txn: Transaction, inbox: "Store") -> Generator:
         """UPDATE_REQ / UPDATED exchange with every worker."""
         for worker in txn.workers:
             self.send(
@@ -155,7 +162,7 @@ class PresumeNothingProtocol(Protocol):
                 )
             pending.discard(msg.src)
 
-    def _voting_round(self, workers, txn_id: int, inbox) -> Generator:
+    def _voting_round(self, workers: Sequence[str], txn_id: int, inbox: "Store") -> Generator:
         for worker in workers:
             self.send(worker, MsgKind.PREPARE, txn_id)
         pending = set(workers)
@@ -174,10 +181,10 @@ class PresumeNothingProtocol(Protocol):
             )
             pending.discard(msg.src)
 
-    def _start_own_prepare(self, txn_id: int):
+    def _start_own_prepare(self, txn_id: int) -> "Process":
         """Fork the coordinator's own prepare (force updates + PREPARED)."""
 
-        def prepare():
+        def prepare() -> Generator:
             yield from self.wal.force(
                 self.updates_rec(txn_id, self.store.updates_of(txn_id)),
                 self.state_rec(RecordKind.PREPARED, txn_id),
@@ -186,13 +193,19 @@ class PresumeNothingProtocol(Protocol):
         # Tracked by the server so a crash kills it with everything else.
         return self.server.spawn(prepare(), name=f"{self.me}:prepare:{txn_id}")
 
-    def _await_own_prepare(self, prepare_proc) -> Generator:
+    def _await_own_prepare(self, prepare_proc: "Process") -> Generator:
         try:
             yield prepare_proc
         except LogLostError:
             raise TransactionAborted("coordinator log lost during prepare")
 
-    def _collect_acks(self, workers, txn_id: int, inbox, kind: str = MsgKind.COMMIT) -> Generator:
+    def _collect_acks(
+        self,
+        workers: Sequence[str],
+        txn_id: int,
+        inbox: "Store",
+        kind: str = MsgKind.COMMIT,
+    ) -> Generator:
         """Wait for every worker's ACK, retransmitting the decision."""
         pending = set(workers)
         for _attempt in range(ACK_RETRIES):
@@ -214,7 +227,7 @@ class PresumeNothingProtocol(Protocol):
         )
         return False
 
-    def _abort(self, txn: Transaction, inbox, reason: str) -> Generator:
+    def _abort(self, txn: Transaction, inbox: "Store", reason: str) -> Generator:
         """Abort path: force ABORTED, tell the workers, release, reply."""
         txn_id = txn.txn_id
         yield from self.wal.force(self.state_rec(RecordKind.ABORTED, txn_id, reason=reason))
@@ -242,7 +255,7 @@ class PresumeNothingProtocol(Protocol):
     # Worker
     # ------------------------------------------------------------------
 
-    def worker_session(self, first: Message, inbox) -> Generator:
+    def worker_session(self, first: Message, inbox: "Store") -> Generator:
         """Worker side: execution, voting, decision."""
         txn_id = first.txn_id
         coordinator = first.src
@@ -266,7 +279,7 @@ class PresumeNothingProtocol(Protocol):
                 yield from self._worker_abort(txn_id, coordinator, ack=msg is not None)
                 return None
             yield from self._worker_prepare(txn_id, coordinator)
-            self.send(coordinator, MsgKind.PREPARED, txn_id)
+            self._announce_vote(txn_id, coordinator)
 
             # Decision.
             msg = yield from self._await_decision(txn_id, coordinator, inbox)
@@ -288,7 +301,7 @@ class PresumeNothingProtocol(Protocol):
         finally:
             self.server.close_session(txn_id)
 
-    def _await_decision(self, txn_id: int, coordinator: str, inbox) -> Generator:
+    def _await_decision(self, txn_id: int, coordinator: str, inbox: "Store") -> Generator:
         """Wait for COMMIT/ABORT; when it doesn't come, keep asking.
 
         A prepared 2PC worker is *blocked*: it cannot decide
@@ -333,7 +346,7 @@ class PresumeNothingProtocol(Protocol):
         return True
 
     @staticmethod
-    def _lock_targets(updates) -> list:
+    def _lock_targets(updates: Sequence[Update]) -> list[ObjectId]:
         seen: dict = {}
         for update in updates:
             seen.setdefault(update.target())
@@ -344,6 +357,14 @@ class PresumeNothingProtocol(Protocol):
             self.updates_rec(txn_id, self.store.updates_of(txn_id)),
             self.state_rec(RecordKind.PREPARED, txn_id, coordinator=coordinator),
         )
+
+    def _announce_vote(self, txn_id: int, coordinator: str) -> None:
+        """Deliver the worker's durable PREPARED vote.
+
+        2PC variants tell the coordinator directly; Paxos Commit
+        overrides this to send ballots to the acceptors instead.
+        """
+        self.send(coordinator, MsgKind.PREPARED, txn_id)
 
     def _worker_commit(self, txn_id: int) -> Generator:
         """Write the worker's COMMITTED record, apply and release."""
@@ -360,8 +381,8 @@ class PresumeNothingProtocol(Protocol):
             flush.callbacks.append(self._harden_and_gc(txn_id))
         self.locks.release_all(txn_id)
 
-    def _harden_and_gc(self, txn_id: int):
-        def on_flush(event):
+    def _harden_and_gc(self, txn_id: int) -> Callable[["Event"], None]:
+        def on_flush(event: "Event") -> None:
             if event.ok:
                 self.store.harden(txn_id)
                 self.wal.checkpoint(txn_id)
@@ -392,13 +413,18 @@ class PresumeNothingProtocol(Protocol):
             else:
                 yield from self._recover_worker(txn_id, state, records)
 
-    def _workers_from(self, records) -> list[str]:
+    def _workers_from(self, records: Sequence[LogRecord]) -> list[str]:
         for record in records:
             if record.kind == RecordKind.STARTED:
                 return list(record.payload.get("workers", []))
         return []
 
-    def _recover_coordinator(self, txn_id: int, state, records) -> Generator:
+    def _recover_coordinator(
+        self,
+        txn_id: int,
+        state: Optional[RecordKind],
+        records: Sequence[LogRecord],
+    ) -> Generator:
         workers = self._workers_from(records)
         inbox = self.server.open_session(txn_id)
         try:
@@ -465,7 +491,7 @@ class PresumeNothingProtocol(Protocol):
         finally:
             self.server.close_session(txn_id)
 
-    def _finish_commit(self, workers, txn_id: int, inbox) -> Generator:
+    def _finish_commit(self, workers: Sequence[str], txn_id: int, inbox: "Store") -> Generator:
         for worker in workers:
             self.send(worker, MsgKind.COMMIT, txn_id)
         if self.ack_required and workers:
@@ -477,7 +503,12 @@ class PresumeNothingProtocol(Protocol):
             )
         self.wal.checkpoint(txn_id)
 
-    def _recover_worker(self, txn_id: int, state, records) -> Generator:
+    def _recover_worker(
+        self,
+        txn_id: int,
+        state: Optional[RecordKind],
+        records: Sequence[LogRecord],
+    ) -> Generator:
         if state == RecordKind.PREPARED:
             # "The worker asks the coordinator to resend the decision."
             yield from self._reapply_logged_updates(txn_id, records)
@@ -524,7 +555,7 @@ class PresumeNothingProtocol(Protocol):
         elif state == RecordKind.ABORTED:
             self.wal.checkpoint(txn_id)
 
-    def _reapply_logged_updates(self, txn_id: int, records) -> Generator:
+    def _reapply_logged_updates(self, txn_id: int, records: Sequence[LogRecord]) -> Generator:
         """Re-install a transaction's logged updates into the cache."""
         from repro.fs.objects import update_from_description
 
@@ -535,7 +566,7 @@ class PresumeNothingProtocol(Protocol):
                     self.store.apply(txn_id, update_from_description(desc))
 
     @staticmethod
-    def _coordinator_from(records) -> Optional[str]:
+    def _coordinator_from(records: Sequence[LogRecord]) -> Optional[str]:
         for record in records:
             if "coordinator" in record.payload:
                 return record.payload["coordinator"]
@@ -545,11 +576,11 @@ class PresumeNothingProtocol(Protocol):
     # Stray messages (post-recovery decisions)
     # ------------------------------------------------------------------
 
-    def handle_stray(self, msg: Message):
+    def handle_stray(self, msg: Message) -> Optional[Generator]:
         if msg.kind == MsgKind.COMMIT and self.wal.last_state(msg.txn_id) == RecordKind.PREPARED:
             # A decision arriving after reboot for a prepared txn whose
             # recovery query raced with the coordinator's retransmission.
-            def finish():
+            def finish() -> Generator:
                 if not self.store.has_applied(msg.txn_id):
                     records = self.wal.records_for(msg.txn_id)
                     yield from self._reapply_logged_updates(msg.txn_id, records)
@@ -560,8 +591,25 @@ class PresumeNothingProtocol(Protocol):
 
             return finish()
         if msg.kind == MsgKind.ABORT and self.wal.last_state(msg.txn_id) == RecordKind.PREPARED:
-            def finish_abort():
+            def finish_abort() -> Generator:
                 yield from self._worker_abort(msg.txn_id, msg.src, ack=True)
 
             return finish_abort()
         return super().handle_stray(msg)
+
+
+register_protocol(
+    ProtocolSpec(
+        name="PrN",
+        engine=PresumeNothingProtocol,
+        summary="Two Phase Commit, baseline Presume Nothing variant (§II-A)",
+        log_records=("STARTED", "UPDATES", "PREPARED", "COMMITTED", "ABORTED", "ENDED"),
+        paper_figure6=15.0,
+        table1_row=(5, 1, 4, 1, 4, 4),
+        citation=(
+            "Mohan, Lindsay & Obermarck, 'Transaction Management in the R* "
+            "Distributed Database Management System' (TODS 1986)"
+        ),
+        order=0,
+    )
+)

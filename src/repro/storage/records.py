@@ -25,6 +25,9 @@ class RecordKind(str, Enum):
     UPDATES = "UPDATES"
     #: 1PC redo record: the namespace operation to re-execute on reboot.
     REDO = "REDO"
+    #: Paxos Commit acceptor ballot: one participant's vote accepted
+    #: into that participant's consensus instance.
+    BALLOT = "BALLOT"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -42,6 +42,35 @@ def test_render_table_mentions_all_protocols():
     assert "Table I" in text
 
 
+@pytest.mark.parametrize(
+    "spec",
+    [s for s in __import__("repro.protocols.registry", fromlist=["specs"]).specs()
+     if s.table1_row is not None and s.name not in TABLE1],
+    ids=lambda s: s.name,
+)
+def test_extension_protocols_match_their_claimed_rows(spec):
+    """Every extension spec that claims a Table-I row must measure it."""
+    measured = measure_protocol_costs(spec.name)
+    assert measured.row == CostRow(*spec.table1_row), (
+        f"{spec.name}: measured {measured.row} != claimed {spec.table1_row}"
+    )
+
+
+def test_reference_row_resolution():
+    from repro.harness.table1 import reference_row
+
+    assert reference_row("PrN") == TABLE1["PrN"]
+    assert reference_row("PC") == CostRow(11, 1, 5, 1, 15, 15)
+    assert reference_row("LGL") == CostRow(0, 0, 0, 0, 7, 4)
+
+
+def test_logless_row_truly_logless():
+    """LGL's claimed row is the headline: zero log writes."""
+    row = measure_protocol_costs("LGL").row
+    assert (row.sync_total, row.async_total) == (0, 0)
+    assert (row.sync_critical, row.async_critical) == (0, 0)
+
+
 def test_render_table_measured_marks_agreement():
     text = run_table1(measured=True)
     # Every bracketed measured value equals the preceding paper value.

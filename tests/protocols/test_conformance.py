@@ -11,7 +11,8 @@ def test_registered_protocol_conforms(name):
     report = check_protocol(name)
     assert report.ok, f"{name} failed conformance: {report.failures}"
     # The battery is substantial: liveness (4) + abort (5) + crash
-    # sweep (2 victims x 4 points x 2 checks) + isolation (3).
+    # sweep (2 victims x 4 points x 2 checks) + fault scenarios
+    # (3 scenarios x 3 checks) + isolation (3).
     assert report.checks_run >= 25
 
 

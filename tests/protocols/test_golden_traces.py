@@ -49,17 +49,20 @@ def test_golden_traces_exist_and_are_nontrivial():
 
 # -- Figure-6 cell documents --------------------------------------------------
 #
-# One full executor cell (100-create burst, seed 0) per protocol,
-# serialized canonically and byte-compared against documents captured
-# *before* the kernel hot-path overhaul.  This pins the end-to-end
-# stack — scheduler, network, WAL, locks, protocol — not just one
-# CREATE's trace.  Regenerate deliberately with::
+# One full executor cell (100-create burst, seed 0) per registered
+# protocol, serialized canonically and byte-compared against captured
+# documents.  This pins the end-to-end stack — scheduler, network,
+# WAL/replicas/acceptors, locks, protocol — not just one CREATE's
+# trace.  A protocol registered without a golden file fails here:
+# run the snippet below to capture its cell.  Regenerate deliberately
+# with::
 #
 #     PYTHONPATH=src python - <<'EOF'
 #     import json
 #     from repro.exec.runners import execute_spec
 #     from repro.exec.spec import RunSpec
-#     for proto in ("1PC", "PrN", "PrC", "EP"):
+#     from repro.protocols.registry import default_protocols
+#     for proto in default_protocols():
 #         spec = RunSpec(kind="burst", protocol=proto, n=100, seed=0,
 #                        point="golden-figure6")
 #         cell = execute_spec(spec)
@@ -68,8 +71,10 @@ def test_golden_traces_exist_and_are_nontrivial():
 #         open(f"tests/golden/figure6_cell_{proto.lower()}.json", "w").write(doc)
 #     EOF
 
+from repro.protocols.registry import default_protocols  # noqa: E402
 
-@pytest.mark.parametrize("protocol", ["1PC", "PrN", "PrC", "EP"])
+
+@pytest.mark.parametrize("protocol", default_protocols())
 def test_figure6_cell_matches_golden(protocol):
     import json
 
@@ -91,7 +96,9 @@ def test_figure6_cell_matches_golden(protocol):
 def test_figure6_cell_goldens_are_nontrivial():
     import json
 
-    for proto in ("1pc", "prn", "prc", "ep"):
-        doc = json.loads((GOLDEN_DIR / f"figure6_cell_{proto}.json").read_text())
+    for proto in default_protocols():
+        doc = json.loads(
+            (GOLDEN_DIR / f"figure6_cell_{proto.lower()}.json").read_text()
+        )
         assert doc["committed"] == 100
         assert doc["throughput"] > 0

@@ -102,7 +102,9 @@ def test_cli_sweep_figure6_json_parallel_matches_serial(capsys, tmp_path):
 
     doc = json.loads(serial.read_text())
     assert doc["kind"] == "figure6"
-    assert [c["spec"]["protocol"] for c in doc["cells"]] == ["PrN", "PrC", "EP", "1PC"]
+    from repro.protocols.registry import default_protocols
+
+    assert [c["spec"]["protocol"] for c in doc["cells"]] == list(default_protocols())
     assert all(c["committed"] == 8 for c in doc["cells"])
 
 
@@ -154,7 +156,7 @@ def test_cli_sweep_progress_reports_cells(capsys, tmp_path):
     code = main(["sweep", "--kind", "figure6", "--n", "6", "--progress"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "[4/4]" in captured.err
+    assert "[7/7]" in captured.err
 
 
 def test_cli_sweep_cache_warm_run_hits_and_matches(capsys, tmp_path, monkeypatch):
@@ -166,13 +168,13 @@ def test_cli_sweep_cache_warm_run_hits_and_matches(capsys, tmp_path, monkeypatch
                  "--json", str(cold_json), "--canonical"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "0 hits, 4 computed" in captured.err
+    assert "0 hits, 7 computed" in captured.err
 
     code = main(["sweep", "--kind", "figure6", "--n", "7",
                  "--json", str(warm_json), "--canonical"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "4 hits, 0 computed" in captured.err
+    assert "7 hits, 0 computed" in captured.err
     assert cold_json.read_bytes() == warm_json.read_bytes()
 
 
@@ -189,7 +191,7 @@ def test_cli_sweep_no_cache_and_refresh(capsys, tmp_path, monkeypatch):
     code = main(["sweep", "--kind", "figure6", "--n", "7", "--refresh"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "0 hits, 4 computed" in captured.err
+    assert "0 hits, 7 computed" in captured.err
 
 
 def test_cli_cache_stats_clear_gc(capsys, tmp_path, monkeypatch):
@@ -199,11 +201,11 @@ def test_cli_cache_stats_clear_gc(capsys, tmp_path, monkeypatch):
 
     code, out = run_cli(capsys, "cache", "stats")
     assert code == 0
-    assert "entries:     4" in out and "burst=4" in out
+    assert "entries:     7" in out and "burst=7" in out
 
     code, out = run_cli(capsys, "cache", "gc", "--max-size", "0")
     assert code == 0
-    assert "evicted 4 entries" in out
+    assert "evicted 7 entries" in out
 
     code, out = run_cli(capsys, "cache", "clear")
     assert code == 0
@@ -215,3 +217,35 @@ def test_cli_cache_gc_rejects_negative_budget(capsys, tmp_path, monkeypatch):
     code, out = run_cli(capsys, "cache", "gc", "--max-size", "-1")
     assert code == 2
     assert "must be >= 0" in out
+
+
+def test_cli_protocols_lists_registry(capsys):
+    code, out = run_cli(capsys, "protocols")
+    assert code == 0
+    assert "Registered commit protocols (7)" in out
+    for name in ("PrN", "PrC", "EP", "1PC", "PrA", "PC", "LGL"):
+        assert name in out
+    assert "needs_acceptors" in out and "logless" in out
+
+
+def test_cli_protocols_json_is_machine_readable(capsys):
+    import json
+
+    code, out = run_cli(capsys, "protocols", "--json")
+    assert code == 0
+    doc = json.loads(out)
+    assert [e["name"] for e in doc] == ["PrN", "PrC", "EP", "1PC", "PrA", "PC", "LGL"]
+    by_name = {e["name"]: e for e in doc}
+    assert by_name["PC"]["capabilities"] == ["needs_acceptors"]
+    assert by_name["LGL"]["log_records"] == []
+    assert by_name["1PC"]["paper_figure6"] == 24.0
+    assert by_name["PC"]["table1_row"] == [11, 1, 5, 1, 15, 15]
+
+
+def test_cli_extension_protocols_selectable(capsys):
+    code, out = run_cli(capsys, "burst", "--protocol", "PC", "--n", "4")
+    assert code == 0
+    assert "invariants: OK" in out
+    code, out = run_cli(capsys, "burst", "--protocol", "LGL", "--n", "4")
+    assert code == 0
+    assert "invariants: OK" in out

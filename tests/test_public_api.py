@@ -46,7 +46,7 @@ def test_top_level_api_shape():
     ):
         assert symbol in repro.__all__
 
-    assert set(repro.PROTOCOLS) == {"PrN", "PrC", "EP", "PrA", "1PC"}
+    assert set(repro.PROTOCOLS) == {"PrN", "PrC", "EP", "PrA", "1PC", "PC", "LGL"}
 
 
 def test_version_is_set():
