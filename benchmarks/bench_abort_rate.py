@@ -13,7 +13,7 @@ RATES = [0.0, 0.1, 0.25]
 
 
 def test_bench_abort_rate(once):
-    table = once(sweep_abort_rate, RATES, ("PrN", "PrC", "EP", "1PC"), 40)
+    table = once(sweep_abort_rate, RATES, protocols=("PrN", "PrC", "EP", "1PC"), n=40)
     rows = [
         [f"{rate:.0%}"] + [f"{table[rate][p]:.1f}" for p in ("PrN", "PrC", "EP", "1PC")]
         for rate in RATES

@@ -15,7 +15,7 @@ PROTOCOLS = ("PrC", "PrA")
 
 
 def test_bench_presumption_crossover(once):
-    table = once(sweep_abort_rate, RATES, PROTOCOLS, 40)
+    table = once(sweep_abort_rate, RATES, protocols=PROTOCOLS, n=40)
     rows = [
         [f"{rate:.0%}"] + [f"{table[rate][p]:.1f}" for p in PROTOCOLS]
         for rate in RATES

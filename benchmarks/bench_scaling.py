@@ -12,17 +12,14 @@ PAIRS = (1, 2, 4)
 
 
 def test_bench_scaling(once):
-    def run_all():
-        return {p: sweep_scaling(p, PAIRS) for p in ("PrN", "1PC")}
-
-    tables = once(run_all)
+    table = once(sweep_scaling, PAIRS, protocols=("PrN", "1PC"))
     rows = []
     for pairs in PAIRS:
         rows.append(
             [
                 f"{pairs} ({2 * pairs} MDSs)",
-                f"{tables['PrN'][pairs]:.1f}",
-                f"{tables['1PC'][pairs]:.1f}",
+                f"{table[pairs]['PrN']:.1f}",
+                f"{table[pairs]['1PC']:.1f}",
             ]
         )
     print("\n" + render_table(
@@ -31,10 +28,9 @@ def test_bench_scaling(once):
         title="Aggregate throughput vs cluster size",
     ))
     for protocol in ("PrN", "1PC"):
-        t = tables[protocol]
         # Near-linear scaling: 4 pairs give at least 3x one pair.
-        assert t[4] > 3.0 * t[1], protocol
-        assert t[2] > 1.6 * t[1], protocol
+        assert table[4][protocol] > 3.0 * table[1][protocol], protocol
+        assert table[2][protocol] > 1.6 * table[1][protocol], protocol
     # 1PC keeps its advantage at every size.
     for pairs in PAIRS:
-        assert tables["1PC"][pairs] > tables["PrN"][pairs]
+        assert table[pairs]["1PC"] > table[pairs]["PrN"]

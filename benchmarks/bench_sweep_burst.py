@@ -12,7 +12,7 @@ SIZES = [1, 10, 50, 150]
 
 
 def test_bench_sweep_burst(once):
-    table = once(sweep_burst_size, SIZES, ("PrN", "PrC", "EP", "1PC"))
+    table = once(sweep_burst_size, SIZES, protocols=("PrN", "PrC", "EP", "1PC"))
     rows = [
         [str(n)] + [f"{table[n][p]:.1f}" for p in ("PrN", "PrC", "EP", "1PC")]
         for n in SIZES

@@ -15,7 +15,7 @@ BANDWIDTHS = [100 * KB, 400 * KB, 4000 * KB, 100_000 * KB]
 
 
 def test_bench_sweep_disk(once):
-    table = once(sweep_disk_bandwidth, BANDWIDTHS, ("PrN", "PrC", "EP", "1PC"), 40)
+    table = once(sweep_disk_bandwidth, BANDWIDTHS, protocols=("PrN", "PrC", "EP", "1PC"), n=40)
     rows = [
         [f"{bw / KB:.0f} KB/s"]
         + [f"{table[bw][p]:.1f}" for p in ("PrN", "PrC", "EP", "1PC")]

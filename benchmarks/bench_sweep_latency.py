@@ -13,7 +13,7 @@ LATENCIES = [10e-6, 100e-6, 1e-3, 5e-3]
 
 
 def test_bench_sweep_latency(once):
-    table = once(sweep_network_latency, LATENCIES, ("PrN", "PrC", "EP", "1PC"), 40)
+    table = once(sweep_network_latency, LATENCIES, protocols=("PrN", "PrC", "EP", "1PC"), n=40)
     rows = [
         [f"{lat * 1e6:.0f} us"] + [f"{table[lat][p]:.1f}" for p in ("PrN", "PrC", "EP", "1PC")]
         for lat in LATENCIES

@@ -140,6 +140,13 @@ def _sweep_grid(args: argparse.Namespace):
     if args.kind == "scaling":
         specs = rexec.scaling_grid(args.protocol, ops_per_dir=args.n, seed=args.seed)
         return specs, str, f"Scaling — aggregate tx/s per pair count ({args.protocol})"
+    if args.kind == "fanout":
+        specs = rexec.fanout_grid(n_files=args.n, seed=args.seed)
+
+        def label(value):
+            return f"k={value}"
+
+        return specs, label, "Fan-out — files/s vs workers per transaction"
     raise ValueError(f"unknown sweep kind {args.kind!r}")
 
 
@@ -435,7 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="parameter sweeps via the parallel executor")
     p.add_argument(
         "--kind",
-        choices=["latency", "disk", "burst", "abort", "figure6", "scaling"],
+        choices=["latency", "disk", "burst", "abort", "figure6", "scaling", "fanout"],
         default="latency",
     )
     p.add_argument("--n", type=int, default=40, help="burst size / ops per directory")

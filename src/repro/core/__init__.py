@@ -9,18 +9,23 @@
 * :mod:`repro.core.batching` -- the §VI future-work extension:
   aggregating many namespace operations on the same directory into one
   transaction.
+* :mod:`repro.core.fanout` -- ``1PC-N``, the same core fanned out to
+  any number of workers for sharded namespaces (with the partial-
+  failure resolution the generalisation requires).
 
-Importing this package registers the protocol under the name ``"1PC"``
-in :data:`repro.protocols.PROTOCOLS`.
+Importing this package registers the protocols under the names
+``"1PC"`` and ``"1PC-N"`` in :data:`repro.protocols.PROTOCOLS`.
 """
 
 from repro.core.batching import BatchPlanner
+from repro.core.fanout import OnePhaseFanoutProtocol
 from repro.core.one_phase import OnePhaseCommitProtocol
 from repro.core.recovery import WorkerProbeResult, probe_worker_log
 
 __all__ = [
     "BatchPlanner",
     "OnePhaseCommitProtocol",
+    "OnePhaseFanoutProtocol",
     "WorkerProbeResult",
     "probe_worker_log",
 ]

@@ -49,7 +49,7 @@ from repro.protocols.base import (
     TransactionAborted,
     register_protocol,
 )
-from repro.protocols.registry import CAP_SHARED_LOG
+from repro.protocols.registry import CAP_SHARED_LOG, reject_fanout
 from repro.storage.fencing import FencedError
 from repro.storage.records import RecordKind
 from repro.storage.wal import LogLostError
@@ -57,6 +57,11 @@ from repro.storage.wal import LogLostError
 #: How long a worker waits for the coordinator's ACK before asking for
 #: a retransmission, in units of the protocol reply timeout.
 ACK_WAIT_FACTOR = 5
+
+#: How many times the coordinator retransmits a decided commit to a
+#: worker that missed the decision (each attempt waits out a rebooting
+#: worker for ``ACK_WAIT_FACTOR`` reply timeouts).
+COMMIT_DRIVE_RETRIES = 8
 
 
 class OnePhaseCommitProtocol(Protocol):
@@ -81,10 +86,9 @@ class OnePhaseCommitProtocol(Protocol):
     # ------------------------------------------------------------------
 
     def coordinate(self, txn: Transaction) -> Generator:
-        if len(txn.workers) > self.max_workers:
+        if self.max_workers is not None and len(txn.workers) > self.max_workers:
             raise UnsupportedOperation(
-                f"1PC handles transactions with at most {self.max_workers} worker, "
-                f"got {len(txn.workers)} (use a 2PC-family protocol for wide RENAMEs)"
+                reject_fanout(self.name, self.max_workers, len(txn.workers))
             )
         inbox = self.server.open_session(txn.txn_id)
         try:
@@ -109,52 +113,112 @@ class OnePhaseCommitProtocol(Protocol):
         yield from self.lock_all(txn_id, plan.locks(self.me))
         yield from self.apply_updates(txn_id, plan.updates[self.me])
 
-        worker = txn.workers[0] if txn.workers else None
-        if worker is not None:
-            self.send(
-                worker,
-                MsgKind.UPDATE_REQ,
-                txn_id,
-                updates=[u.describe() for u in plan.updates[worker]],
-                op=plan.op,
-                commit=True,
+        workers = list(txn.workers)
+        for worker in workers:
+            self._send_update_req(worker, txn_id, plan)
+        committed, outstanding, reason = yield from self._collect_worker_commits(
+            txn_id, workers, inbox
+        )
+        if workers and not committed:
+            # Nobody's commit record is durable: refusers rolled back,
+            # crashed workers lost their volatile state, fenced workers
+            # can never force one — aborting is safe and unanimous.
+            raise TransactionAborted(reason or "no worker committed")
+        if outstanding:
+            # Partial failure (§III-C generalised to k workers): at
+            # least one worker's forced commit is durable, so the only
+            # atomic outcome is COMMIT — the remaining workers must be
+            # driven to it, never rolled back.
+            self.obs.annotate(
+                "partial_commit_resolution",
+                self.me,
+                txn=txn_id,
+                committed=list(committed),
+                outstanding=list(outstanding),
             )
-            msg = yield from self._await_worker_reply(txn_id, worker, inbox)
-            if msg is not None and msg.kind == MsgKind.NOT_PREPARED:
-                raise TransactionAborted(
-                    f"worker {worker} rejected the updates: "
-                    f"{msg.payload.get('reason', 'no reason given')}"
-                )
-            if msg is None:
-                # Worker unresponsive: enter the shared-log recovery.
-                committed = yield from self._probe_worker(txn_id, worker)
-                if not committed:
-                    raise TransactionAborted(f"worker {worker} crashed before committing")
 
-        # Decision reached: the worker has committed (or there is no
+        # Decision reached: every worker has committed (or there is no
         # worker).  The updates become visible in the cache, the client
         # gets its reply and the locks drop *before* our commit write.
         self.store.commit(txn_id)
         replied_at = self.reply_to_client(txn, committed=True)
         self.locks.release_all(txn_id)
         yield from self._commit_self(txn_id)
-        if worker is not None:
+        for worker in committed:
             self.send(worker, MsgKind.ACK, txn_id)
+        if outstanding:
+            yield from self._drive_stragglers(txn_id, plan, outstanding, inbox)
         self.wal.checkpoint(txn_id)
         return self.outcome(txn, committed=True, replied_at=replied_at)
 
-    def _await_worker_reply(self, txn_id: int, worker: str, inbox) -> Generator:
-        """Wait for the worker's reply, watching the failure detector.
+    def _send_update_req(self, worker: str, txn_id: int, plan: OpPlan, **extra) -> None:
+        self.send(
+            worker,
+            MsgKind.UPDATE_REQ,
+            txn_id,
+            updates=[u.describe() for u in plan.updates[worker]],
+            op=plan.op,
+            commit=True,
+            **extra,
+        )
+
+    def _collect_worker_commits(
+        self, txn_id: int, workers, inbox, watch_detector: bool = True
+    ) -> Generator:
+        """Collect every worker's vote: its forced commit (UPDATED), a
+        refusal (NOT_PREPARED), or — once it goes silent — the verdict
+        of its shared-log probe (§III-C, per participant).
+
+        Returns ``(committed, outstanding, reason)``: the workers whose
+        commit record is known durable, the failed workers that must be
+        driven to commit if the global outcome is COMMIT, and an abort
+        reason naming every failed worker (``None`` when all
+        committed).
+        """
+        pending = dict.fromkeys(workers)
+        committed: list = []
+        failed: dict = {}
+        while pending:
+            msg = yield from self._await_worker_reply(
+                txn_id, pending, inbox, watch_detector=watch_detector
+            )
+            if msg is None:
+                break
+            if msg.src not in pending:
+                continue  # duplicate reply from an already-counted worker
+            del pending[msg.src]
+            if msg.kind == MsgKind.NOT_PREPARED:
+                failed[msg.src] = (
+                    f"worker {msg.src} rejected the updates: "
+                    f"{msg.payload.get('reason', 'no reason given')}"
+                )
+            else:
+                committed.append(msg.src)
+        for worker in list(pending):
+            # Worker unresponsive: enter the shared-log recovery.
+            if (yield from self._probe_worker(txn_id, worker)):
+                committed.append(worker)
+            else:
+                failed[worker] = f"worker {worker} crashed before committing"
+        outstanding = [w for w in workers if w in failed]
+        reason = "; ".join(failed[w] for w in workers if w in failed) or None
+        return committed, outstanding, reason
+
+    def _await_worker_reply(
+        self, txn_id: int, pending, inbox, watch_detector: bool = True
+    ) -> Generator:
+        """Wait for one outstanding worker's reply, watching the
+        failure detector.
 
         §III-A: the cluster runs a heartbeat failure detector.  When it
-        is active, the coordinator gives up as soon as the worker is
-        *suspected* instead of sitting out the full protocol timeout —
-        heartbeats accelerate the fencing decision (they can never make
-        it wrong: fencing + the shared log settle the outcome either
-        way).
+        is active, the coordinator gives up as soon as every
+        still-silent worker is *suspected* instead of sitting out the
+        full protocol timeout — heartbeats accelerate the fencing
+        decision (they can never make it wrong: fencing + the shared
+        log settle the outcome either way).
         """
         detector = self.server.cluster.failure_detector
-        heartbeats_on = bool(self.server.cluster.heartbeat_services)
+        heartbeats_on = watch_detector and bool(self.server.cluster.heartbeat_services)
         deadline = self.sim.now + self.params.failure.reply_timeout
         slice_ = (
             self.params.failure.heartbeat_interval
@@ -172,11 +236,61 @@ class OnePhaseCommitProtocol(Protocol):
             )
             if msg is not None:
                 return msg
-            if heartbeats_on and detector.suspects(self.me, worker):
-                self.obs.annotate(
-                    "early_suspicion", self.me, txn=txn_id, worker=worker
-                )
+            if heartbeats_on and all(detector.suspects(self.me, w) for w in pending):
+                for worker in pending:
+                    self.obs.annotate(
+                        "early_suspicion", self.me, txn=txn_id, worker=worker
+                    )
                 return None
+
+    def _drive_stragglers(self, txn_id: int, plan: OpPlan, stragglers, inbox) -> Generator:
+        """Drive workers that missed a COMMIT decision to apply it.
+
+        The decision is durable (our COMMITTED record plus at least one
+        worker's), so each straggler is retransmitted the
+        commit-carrying UPDATE_REQ marked ``decided`` until it
+        confirms: a rebooted worker runs the session from scratch, a
+        worker that already committed re-acknowledges from its log, and
+        a worker that refused earlier applies the updates it rolled
+        back — with one worker a refusal aborts the transaction, which
+        is exactly why the paper's two-party 1PC never overrides a
+        vote (§III); see :mod:`repro.core.fanout`.
+        """
+        for worker in stragglers:
+            for _ in range(COMMIT_DRIVE_RETRIES):
+                self._send_update_req(worker, txn_id, plan, decided=True)
+                msg = yield from self._await_commit_confirmation(txn_id, worker, inbox)
+                if msg is not None and msg.kind == MsgKind.UPDATED:
+                    self.send(worker, MsgKind.ACK, txn_id)
+                    break
+            else:
+                self.obs.annotate(
+                    "commit_drive_exhausted", self.me, txn=txn_id, worker=worker
+                )
+
+    def _await_commit_confirmation(self, txn_id: int, worker: str, inbox) -> Generator:
+        """One retransmission round: wait out even a rebooting worker,
+        answering ACK_REQs from already-committed peers meanwhile."""
+        deadline = self.sim.now + self.params.failure.reply_timeout * ACK_WAIT_FACTOR
+        while True:
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                return None
+            msg = yield from self.recv(
+                inbox,
+                kinds=frozenset(
+                    {MsgKind.UPDATED, MsgKind.NOT_PREPARED, MsgKind.ACK_REQ}
+                ),
+                timeout=remaining,
+            )
+            if msg is None:
+                return None
+            if msg.kind == MsgKind.ACK_REQ:
+                self.send(msg.src, MsgKind.ACK, msg.txn_id)
+                continue
+            if msg.src != worker:
+                continue
+            return msg
 
     def _probe_worker(self, txn_id: int, worker: str) -> Generator:
         """Fence the worker and read its shared log (§III-C case 2)."""
@@ -229,7 +343,10 @@ class OnePhaseCommitProtocol(Protocol):
 
             updates = self.decode_updates(first.payload)
             try:
-                if self.server.fail_next_vote:
+                # A ``decided`` retransmission means the global outcome
+                # is already COMMIT (some sibling's forced commit is
+                # durable): our vote no longer exists to refuse.
+                if self.server.fail_next_vote and not first.payload.get("decided"):
                     self.server.fail_next_vote = False
                     raise TransactionAborted("injected vote failure")
                 yield from self.lock_all(txn_id, self._lock_targets(updates))
@@ -333,6 +450,21 @@ class OnePhaseCommitProtocol(Protocol):
             if not self.store.has_applied(txn_id):
                 yield from self._reapply_logged_updates(txn_id, records)
                 self.store.commit_durable(txn_id)
+            plan = self._plan_from_redo(records)
+            workers = (
+                [n for n in plan.participants if n != self.me] if plan is not None else []
+            )
+            if len(workers) > 1:
+                # With one worker, our COMMITTED record proves the
+                # worker committed first.  With k > 1 it only proves
+                # the decision — a straggler may have missed it, so
+                # re-drive everyone; committed workers simply
+                # re-acknowledge from their logs.
+                inbox = self.server.open_session(txn_id)
+                try:
+                    yield from self._drive_stragglers(txn_id, plan, workers, inbox)
+                finally:
+                    self.server.close_session(txn_id)
             self.wal.checkpoint(txn_id)
             self.obs.annotate("recovery", self.me, txn=txn_id, action="already-committed")
         elif state == RecordKind.ABORTED:
@@ -357,24 +489,14 @@ class OnePhaseCommitProtocol(Protocol):
                 self.wal.checkpoint(txn_id)
                 return
             workers = [n for n in plan.participants if n != self.me]
+            committed: list = []
+            outstanding: list = []
             if workers:
-                worker = workers[0]
-                self.send(
-                    worker,
-                    MsgKind.UPDATE_REQ,
-                    txn_id,
-                    updates=[u.describe() for u in plan.updates[worker]],
-                    op=plan.op,
-                    commit=True,
+                for worker in workers:
+                    self._send_update_req(worker, txn_id, plan)
+                committed, outstanding, _ = yield from self._collect_worker_commits(
+                    txn_id, workers, inbox, watch_detector=False
                 )
-                msg = yield from self.recv(
-                    inbox,
-                    kinds=frozenset({MsgKind.UPDATED, MsgKind.NOT_PREPARED}),
-                    timeout=self.params.failure.reply_timeout,
-                )
-                committed = msg is not None and msg.kind == MsgKind.UPDATED
-                if msg is None:
-                    committed = yield from self._probe_worker(txn_id, worker)
                 if not committed:
                     self.store.abort(txn_id)
                     self.locks.release_all(txn_id)
@@ -385,8 +507,10 @@ class OnePhaseCommitProtocol(Protocol):
                     return
             self.locks.release_all(txn_id)
             yield from self._commit_self(txn_id)
-            for worker in workers:
+            for worker in committed:
                 self.send(worker, MsgKind.ACK, txn_id)
+            if outstanding:
+                yield from self._drive_stragglers(txn_id, plan, outstanding, inbox)
             self.wal.checkpoint(txn_id)
             self.obs.annotate("recovery", self.me, txn=txn_id, action="redo-committed")
         finally:

@@ -24,6 +24,7 @@ from repro.exec.grids import (
     abort_rate_grid,
     burst_size_grid,
     disk_bandwidth_grid,
+    fanout_grid,
     figure6_grid,
     network_latency_grid,
     scaling_grid,
@@ -50,6 +51,7 @@ __all__ = [
     "derive_seed",
     "disk_bandwidth_grid",
     "execute_spec",
+    "fanout_grid",
     "figure6_grid",
     "git_revision",
     "host_trace_log",

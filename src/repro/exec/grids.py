@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 
 from repro.config import SimulationParams
 from repro.exec.spec import RunSpec
-from repro.protocols.registry import default_protocols
+from repro.protocols.registry import default_protocols, fanout_capable
 
 
 def figure6_grid(
@@ -119,6 +119,40 @@ def abort_rate_grid(
             params=params,
         )
         for rate in rates
+        for proto in protocols
+    ]
+
+
+def fanout_grid(
+    fanouts: Sequence[int] = (1, 2, 4, 8),
+    protocols: Optional[Sequence[str]] = None,
+    n_files: int = 16,
+    n_shards: Optional[int] = None,
+    params: Optional[SimulationParams] = None,
+    seed: int = 0,
+) -> list[RunSpec]:
+    """File throughput vs workers-per-transaction on a sharded namespace.
+
+    One hot directory on a coordinator shard, inodes striped over
+    worker shards, creates batched so each transaction spans exactly
+    ``k`` workers.  ``protocols`` defaults to the registered protocols
+    that accept the widest requested transaction; ``n_shards`` defaults
+    to ``k`` per point (the tightest cluster hosting the width).
+    """
+    if protocols is None:
+        protocols = fanout_capable(max(fanouts))
+    return [
+        RunSpec(
+            kind="fanout",
+            protocol=proto,
+            n=n_files,
+            fanout=k,
+            n_shards=k if n_shards is None else n_shards,
+            seed=seed,
+            point=k,
+            params=params,
+        )
+        for k in fanouts
         for proto in protocols
     ]
 

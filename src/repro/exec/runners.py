@@ -172,6 +172,33 @@ def _run_scaling_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
     )
 
 
+def _run_fanout_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
+    from repro.harness.fanout import run_fanout_cell
+
+    if spec.fanout is None:
+        raise ValueError(f"fanout spec {spec.describe()!r} has no fanout field")
+    cell = run_fanout_cell(
+        spec.protocol,
+        spec.fanout,
+        n_files=spec.n,
+        n_shards=spec.n_shards,
+        params=spec.seeded_params(),
+    )
+    return CellResult(
+        spec=spec,
+        derived_seed=cell.seed,
+        committed=cell.committed,
+        aborted=cell.batches - cell.committed,
+        makespan=cell.makespan,
+        throughput=cell.throughput,
+        latency=None,
+        forced_writes=cell.forced_writes,
+        lazy_writes=cell.lazy_writes,
+        payload=None,
+    )
+
+
 register_runner("burst", _run_burst_spec)
 register_runner("abort_burst", _run_abort_burst_spec)
 register_runner("scaling", _run_scaling_spec)
+register_runner("fanout", _run_fanout_spec)

@@ -34,12 +34,15 @@ class RunSpec:
 
     * ``"burst"`` — the §IV simultaneous-submission workload,
     * ``"abort_burst"`` — burst with a fraction of refused votes,
-    * ``"scaling"`` — striped multi-pair cluster throughput.
+    * ``"scaling"`` — striped multi-pair cluster throughput,
+    * ``"fanout"`` — hot-directory batches spanning ``fanout`` worker
+      shards of a ``n_shards``-wide sharded namespace.
     """
 
     kind: str
     protocol: str
-    #: Burst size for burst kinds; operations per directory for scaling.
+    #: Burst size for burst kinds; operations per directory for scaling;
+    #: total files created for fanout.
     n: int = 100
     op: str = "create"
     abort_rate: float = 0.0
@@ -54,6 +57,13 @@ class RunSpec:
     #: this run.  Off by default: long sweeps stay lean, and a
     #: trace-enabled run is the explicit exception (``repro trace``).
     trace: bool = False
+    #: Workers per transaction for the fanout kind; ``None`` elsewhere
+    #: (the field enters the identity only when set, so every pre-fanout
+    #: baseline and cache key is untouched).
+    fanout: Optional[int] = None
+    #: Worker shards in the sharded namespace (fanout kind); defaults
+    #: to ``fanout`` when unset.
+    n_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -64,6 +74,17 @@ class RunSpec:
             raise ValueError(f"abort_rate must be in [0, 1), got {self.abort_rate}")
         if self.n_pairs < 1:
             raise ValueError(f"n_pairs must be >= 1, got {self.n_pairs}")
+        if self.fanout is not None and self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+        if self.n_shards is not None:
+            if self.n_shards < 1:
+                raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+            if self.fanout is not None and self.fanout > self.n_shards:
+                raise ValueError(
+                    f"fanout {self.fanout} cannot exceed n_shards {self.n_shards}"
+                )
+        if self.kind == "fanout" and self.fanout is None:
+            raise ValueError("fanout kind requires the fanout field")
 
     @property
     def effective_params(self) -> SimulationParams:
@@ -92,6 +113,13 @@ class RunSpec:
         # field enters the identity only when actually enabled.
         if self.trace:
             doc["trace"] = True
+        # Same discipline for the fanout axes: absent unless set, so
+        # pre-fanout spec identities (seeds, goldens, cache keys) are
+        # byte-for-byte what they always were.
+        if self.fanout is not None:
+            doc["fanout"] = self.fanout
+        if self.n_shards is not None:
+            doc["n_shards"] = self.n_shards
         return doc
 
     @staticmethod
@@ -113,6 +141,8 @@ class RunSpec:
             point=doc["point"],
             params=SimulationParams.from_dict(doc["params"]),
             trace=bool(doc.get("trace", False)),
+            fanout=doc.get("fanout"),
+            n_shards=doc.get("n_shards"),
         )
 
     def identity(self) -> str:
@@ -126,6 +156,10 @@ class RunSpec:
             bits.append(f"abort={self.abort_rate:g}")
         if self.kind == "scaling":
             bits.append(f"pairs={self.n_pairs}")
+        if self.kind == "fanout":
+            bits.append(f"k={self.fanout}")
+            if self.n_shards is not None:
+                bits.append(f"shards={self.n_shards}")
         if self.point is not None:
             bits.append(f"point={self.point}")
         return " ".join(bits)

@@ -52,6 +52,8 @@ from repro.fs.placement import (
     PinnedPlacement,
     PlacementPolicy,
     RoundRobinPlacement,
+    ShardedHashPlacement,
+    ShardedSubtreePlacement,
     SubtreePlacement,
 )
 from repro.fs.store import MetadataStore
@@ -75,6 +77,8 @@ __all__ = [
     "RemoveDentry",
     "RemoveDirTable",
     "RoundRobinPlacement",
+    "ShardedHashPlacement",
+    "ShardedSubtreePlacement",
     "SubtreePlacement",
     "TouchInode",
     "UnsupportedOperation",

@@ -123,8 +123,9 @@ def plan_create(
     inode at the inode's MDS."""
     parent, name = split_path(path)
     ino = allocator.next()
-    if hasattr(placement, "hint_inode_path"):
-        placement.hint_inode_path(ino, path)
+    hint = getattr(placement, "hint_inode_path", None)
+    if hint is not None:
+        hint(ino, path)
     dir_node = placement.place(ObjectId.directory(parent))
     ino_node = placement.place(ObjectId.inode(ino))
     updates: dict[str, list[Update]] = {}
@@ -149,8 +150,9 @@ def plan_mkdir(
     """
     parent, name = split_path(path)
     ino = allocator.next()
-    if hasattr(placement, "hint_inode_path"):
-        placement.hint_inode_path(ino, path)
+    hint = getattr(placement, "hint_inode_path", None)
+    if hint is not None:
+        hint(ino, path)
     parent_node = placement.place(ObjectId.directory(parent))
     dir_node = placement.place(ObjectId.directory(path))
     updates: dict[str, list[Update]] = {}

@@ -13,12 +13,27 @@ distributed transaction.
   locality; distributed transactions become rare).
 * :class:`RoundRobinPlacement` -- deterministic striping of inodes
   across servers, directories pinned by hash.
+
+The **namespace sharding layer** generalises these to N-MDS shard
+sets, deciding how many workers a CREATE/DELETE/RENAME touches (the
+participant fan-out of ``repro sweep --kind fanout``):
+
+* :class:`ShardedHashPlacement` -- every directory has a home shard
+  (stable hash of its path); the files within it stripe across the
+  shard set by inode number.
+* :class:`ShardedSubtreePlacement` -- directories pin by subtree map
+  (longest prefix) while files stripe across the shard set instead of
+  co-locating with their home directory.
+
+Both accept a ``stripe`` subset so experiments can keep directory
+metadata on dedicated coordinator shards while spreading inodes over
+the workers.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Protocol, Sequence
+from typing import Optional, Protocol, Sequence
 
 from repro.fs.objects import ObjectId
 
@@ -97,6 +112,79 @@ class RoundRobinPlacement:
         if obj.kind == "inode":
             return self.nodes[int(obj.key) % len(self.nodes)]
         return self.nodes[_stable_hash(obj.key) % len(self.nodes)]
+
+
+def _stripe_subset(nodes: Sequence[str], stripe: Optional[Sequence[str]]) -> list[str]:
+    if stripe is None:
+        return list(nodes)
+    if not stripe:
+        raise ValueError("stripe requires at least one node")
+    unknown = set(stripe) - set(nodes)
+    if unknown:
+        raise ValueError(f"stripe names unknown nodes {sorted(unknown)}")
+    return list(stripe)
+
+
+def _stripe_inode(key: str, stripe: Sequence[str]) -> str:
+    """Deterministic inode striping: consecutive inode numbers visit
+    consecutive shards, so a batch of b creates in one directory spans
+    min(b, len(stripe)) shards."""
+    if key.isdigit():
+        return stripe[int(key) % len(stripe)]
+    return stripe[_stable_hash(key) % len(stripe)]
+
+
+class ShardedHashPlacement:
+    """Hash sharding of the namespace over an N-MDS shard set.
+
+    Every directory has a *home shard* (stable hash of its path) that
+    owns its dentries; the files within it stripe across ``stripe``
+    (default: all shards) by inode number — §I's "spread the files
+    within the directory across multiple MDSs" as a first-class
+    policy.  A CREATE touches the directory's home shard plus the
+    inode's stripe shard; a batched transaction over one hot directory
+    touches up to ``len(stripe)`` workers.
+    """
+
+    def __init__(self, nodes: Sequence[str], stripe: Optional[Sequence[str]] = None):
+        if not nodes:
+            raise ValueError("placement requires at least one node")
+        self.nodes = list(nodes)
+        self.stripe = _stripe_subset(self.nodes, stripe)
+
+    def shard_of_dir(self, path: str) -> str:
+        """The home shard owning ``path``'s dentries."""
+        return self.nodes[_stable_hash(f"dir:{path}") % len(self.nodes)]
+
+    def place(self, obj: ObjectId) -> str:
+        if obj.kind == "dir":
+            return self.shard_of_dir(obj.key)
+        return _stripe_inode(obj.key, self.stripe)
+
+
+class ShardedSubtreePlacement(SubtreePlacement):
+    """Subtree sharding: directories pin by longest-prefix subtree map
+    (Ceph-style), while files stripe across ``stripe`` (default: all
+    shards) instead of co-locating with their home directory.
+
+    Keeps directory metadata local while spreading inode load; a
+    RENAME between two pinned subtrees plus the striped inode can
+    touch three shards, four when it replaces a target.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[str],
+        subtree_map: dict[str, str],
+        stripe: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(nodes, subtree_map)
+        self.stripe = _stripe_subset(self.nodes, stripe)
+
+    def place(self, obj: ObjectId) -> str:
+        if obj.kind == "dir":
+            return super().place(obj)
+        return _stripe_inode(obj.key, self.stripe)
 
 
 class PinnedPlacement:

@@ -59,6 +59,7 @@ class Figure6Result:
 
 
 def run_figure6(
+    *,
     protocols: Optional[Sequence[str]] = None,
     n: int = 100,
     params: Optional[SimulationParams] = None,

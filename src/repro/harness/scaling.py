@@ -127,20 +127,38 @@ def run_scaling_point(
 
 
 def sweep_scaling(
-    protocol: str,
     pair_counts: Sequence[int] = (1, 2, 4),
+    *,
+    protocols: Optional[Sequence[str]] = None,
     ops_per_dir: int = 25,
     params: Optional[SimulationParams] = None,
     workers: int = 1,
     cache: "Optional[ResultCache]" = None,
-) -> dict[int, float]:
-    """Aggregate throughput for each cluster size.
+) -> dict[int, dict[str, float]]:
+    """Aggregate throughput per ``(pair count, protocol)`` point.
 
-    Routed through the parallel executor; ``workers=1`` is the serial
-    fallback and produces identical results to any worker count.
+    Shares the harness-wide calling convention (the swept axis
+    positional; ``protocols=``, ``workers=``, ``cache=`` keyword-only
+    — see ``docs/architecture.md``).  ``protocols`` defaults to every
+    registered protocol.  Routed through the parallel executor;
+    ``workers=1`` is the serial fallback and produces identical
+    results to any worker count.
     """
     from repro.exec import run_grid, scaling_grid
+    from repro.protocols.registry import default_protocols
 
-    specs = scaling_grid(protocol, pair_counts=pair_counts, ops_per_dir=ops_per_dir, params=params)
+    if protocols is None:
+        protocols = default_protocols()
+    specs = [
+        spec
+        for k in pair_counts
+        for proto in protocols
+        for spec in scaling_grid(
+            proto, pair_counts=(k,), ops_per_dir=ops_per_dir, params=params
+        )
+    ]
     cells = run_grid(specs, workers=workers, cache=cache)
-    return {cell.spec.n_pairs: cell.throughput for cell in cells}
+    table: dict[int, dict[str, float]] = {}
+    for cell in cells:
+        table.setdefault(cell.spec.n_pairs, {})[cell.spec.protocol] = cell.throughput
+    return table

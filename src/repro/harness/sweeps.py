@@ -11,6 +11,11 @@ Every sweep is a declarative grid routed through the parallel
 executor (:mod:`repro.exec`): ``workers=1`` is the serial fallback and
 any worker count produces bit-identical results, because per-run seeds
 derive from the spec rather than scheduling order.
+
+All entry points share one calling convention (documented in
+``docs/architecture.md``): the swept axis is the only positional
+argument, and ``protocols=``, ``workers=`` and ``cache=`` are
+keyword-only and mean the same thing everywhere.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ def _fold(cells: Sequence[CellResult]) -> dict:
 
 def sweep_network_latency(
     latencies: Sequence[float],
+    *,
     protocols: Optional[Sequence[str]] = None,
     n: int = 50,
     params: Optional[SimulationParams] = None,
@@ -53,6 +59,7 @@ def sweep_network_latency(
 
 def sweep_disk_bandwidth(
     bandwidths: Sequence[float],
+    *,
     protocols: Optional[Sequence[str]] = None,
     n: int = 50,
     params: Optional[SimulationParams] = None,
@@ -66,6 +73,7 @@ def sweep_disk_bandwidth(
 
 def sweep_burst_size(
     sizes: Sequence[int],
+    *,
     protocols: Optional[Sequence[str]] = None,
     params: Optional[SimulationParams] = None,
     workers: int = 1,
@@ -78,6 +86,7 @@ def sweep_burst_size(
 
 def sweep_abort_rate(
     rates: Sequence[float],
+    *,
     protocols: Optional[Sequence[str]] = None,
     n: int = 50,
     params: Optional[SimulationParams] = None,

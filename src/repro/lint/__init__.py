@@ -17,8 +17,9 @@ zero-new-findings CI gate:
   require_fenced=False)`` stays confined to recovery internals and
   tests, and every remote-log read must be dominated by a ``fence()``
   in the same function.
-* **API** — no in-repo use of the deprecated positional
-  ``Cluster``/``Client`` signatures or the ``trace_enabled=`` spelling.
+* **API** — no use of the removed positional ``Cluster``/``Client``
+  signatures or the ``trace_enabled=`` spelling (both are a
+  ``TypeError`` at runtime).
 * **OBS** — instrumentation hooks early-out on ``enabled`` before any
   other work, keeping tracing near-zero-cost when off.
 

@@ -1,10 +1,11 @@
-"""API — deprecated-surface rules.
+"""API — removed-surface rules.
 
 PR 2 redesigned the construction API: ``Cluster``/``Client`` take
 keyword-only arguments, and ``trace_enabled=`` became ``trace=``.
-Compatibility shims keep the old spellings working for downstream
-users, but in-repo code must not lean on them — otherwise the shims
-can never be retired.  Tests of the shims themselves are exempt.
+The compatibility shims that once made the old spellings a
+:class:`DeprecationWarning` are gone — the legacy forms are now a
+``TypeError`` at runtime, and these rules flag them statically
+everywhere (no module or test exemptions remain).
 """
 
 from __future__ import annotations
@@ -16,28 +17,22 @@ from repro.lint.context import FileContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
-#: Modules that implement the deprecation shims (their internals are
-#: the one sanctioned use of the legacy spellings).
-_SHIM_MODULES = ("mds/cluster.py", "mds/client.py")
-
 #: class name -> number of positional arguments the modern signature
-#: still accepts.
+#: accepts.
 _POSITIONAL_BUDGET = {"Cluster": 0, "Client": 1}
 
 
 @register
 class PositionalConstructorRule(Rule):
     id = "API001"
-    summary = "no deprecated positional Cluster(...)/Client(...) arguments"
+    summary = "no positional Cluster(...)/Client(...) arguments"
     rationale = (
-        "The keyword-only constructors are the supported surface; "
-        "in-repo positional calls would freeze the legacy parameter "
-        "order forever."
+        "The keyword-only constructors are the only surface; a "
+        "positional call is a TypeError at runtime now that the "
+        "legacy shims are gone."
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if ctx.in_tests or ctx.is_module(*_SHIM_MODULES):
-            return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -51,7 +46,7 @@ class PositionalConstructorRule(Rule):
                 yield ctx.finding(
                     node,
                     self.id,
-                    f"deprecated positional {dotted[-1]}(...) call with "
+                    f"positional {dotted[-1]}(...) call with "
                     f"{len(node.args)} positional arguments; pass keywords "
                     f"(at most {budget} positional)",
                 )
@@ -60,15 +55,13 @@ class PositionalConstructorRule(Rule):
 @register
 class TraceEnabledSpellingRule(Rule):
     id = "API002"
-    summary = "no deprecated trace_enabled= keyword (use trace=)"
+    summary = "no trace_enabled= keyword (use trace=)"
     rationale = (
-        "trace_enabled= survives only as a DeprecationWarning shim for "
-        "external callers; in-repo use blocks its removal."
+        "trace_enabled= was removed with the deprecation shims; the "
+        "call is a TypeError at runtime."
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if ctx.in_tests or ctx.is_module(*_SHIM_MODULES):
-            return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -77,5 +70,5 @@ class TraceEnabledSpellingRule(Rule):
                     yield ctx.finding(
                         node,
                         self.id,
-                        "deprecated trace_enabled= keyword; spell it trace=",
+                        "removed trace_enabled= keyword; spell it trace=",
                     )

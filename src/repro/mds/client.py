@@ -9,7 +9,6 @@ aborted operations can be resubmitted by the workload layer.
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.fs.objects import FileType
@@ -36,25 +35,11 @@ class ClientTimeout(Exception):
 class Client:
     """A file-system client issuing namespace operations.
 
-    ``name`` is keyword-only; the old positional spelling still works
-    but emits a :class:`DeprecationWarning`.
+    ``name`` is keyword-only; positional spellings are a
+    :class:`TypeError` (and flagged statically by lint rule API002).
     """
 
-    def __init__(self, cluster: "Cluster", *args, name: Optional[str] = None):
-        if args:
-            warnings.warn(
-                "positional Client(cluster, name) is deprecated; use name=...",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 1:
-                raise TypeError(
-                    f"Client() takes at most 1 positional argument besides "
-                    f"the cluster ({len(args)} given)"
-                )
-            if name is not None:
-                raise TypeError("Client() got multiple values for argument 'name'")
-            name = args[0]
+    def __init__(self, cluster: "Cluster", *, name: Optional[str] = None):
         self.cluster = cluster
         # Cluster-scoped naming keeps runs byte-for-byte reproducible.
         self.name = name or f"client{cluster.next_client_id()}"

@@ -18,16 +18,15 @@ Typical use::
     cluster.sim.run()
     assert cluster.check_invariants() == []
 
-Constructor arguments are keyword-only; the old positional signature
-(and the old ``trace_enabled=`` spelling) still work but emit a
-:class:`DeprecationWarning`.
+Constructor arguments are keyword-only; positional spellings (and the
+pre-redesign ``trace_enabled=`` name) are a :class:`TypeError`, and
+lint rule API001 flags them statically.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
-import warnings
 from typing import Iterable, Optional, Sequence
 
 import repro.core  # noqa: F401  (registers the 1PC protocol)
@@ -61,96 +60,23 @@ from repro.storage import (
 
 FENCING_DRIVERS = ("stonith", "resource", "scsi")
 
-_UNSET = object()
-
-#: The pre-redesign positional parameter order, for the shim.
-_LEGACY_POSITIONAL = (
-    "protocol",
-    "server_names",
-    "params",
-    "placement",
-    "fallback",
-    "fencing",
-    "heartbeats",
-    "trace",
-)
-
-_DEFAULTS = {
-    "protocol": "1PC",
-    "server_names": ("mds1", "mds2"),
-    "params": None,
-    "placement": None,
-    "fallback": "PrN",
-    "fencing": "stonith",
-    "heartbeats": False,
-    "trace": True,
-}
-
 
 class Cluster:
     """A simulated metadata-server cluster."""
 
     def __init__(
         self,
-        *args,
-        protocol: str = _UNSET,  # type: ignore[assignment]
-        server_names: Sequence[str] = _UNSET,  # type: ignore[assignment]
-        params: Optional[SimulationParams] = _UNSET,  # type: ignore[assignment]
-        placement: Optional[PlacementPolicy] = _UNSET,  # type: ignore[assignment]
-        fallback: Optional[str] = _UNSET,  # type: ignore[assignment]
-        fencing: str = _UNSET,  # type: ignore[assignment]
-        heartbeats: bool = _UNSET,  # type: ignore[assignment]
-        trace: bool = _UNSET,  # type: ignore[assignment]
+        *,
+        protocol: str = "1PC",
+        server_names: Sequence[str] = ("mds1", "mds2"),
+        params: Optional[SimulationParams] = None,
+        placement: Optional[PlacementPolicy] = None,
+        fallback: Optional[str] = "PrN",
+        fencing: str = "stonith",
+        heartbeats: bool = False,
+        trace: bool = True,
         seed: Optional[int] = None,
-        trace_enabled: bool = _UNSET,  # type: ignore[assignment]
     ):
-        kw = {
-            "protocol": protocol,
-            "server_names": server_names,
-            "params": params,
-            "placement": placement,
-            "fallback": fallback,
-            "fencing": fencing,
-            "heartbeats": heartbeats,
-            "trace": trace,
-        }
-        if trace_enabled is not _UNSET:
-            warnings.warn(
-                "Cluster(trace_enabled=...) is deprecated; use trace=...",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if kw["trace"] is not _UNSET:
-                raise TypeError("got both 'trace' and deprecated 'trace_enabled'")
-            kw["trace"] = trace_enabled
-        if args:
-            warnings.warn(
-                "positional Cluster(...) arguments are deprecated; "
-                "pass keyword arguments (protocol=..., server_names=...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > len(_LEGACY_POSITIONAL):
-                raise TypeError(
-                    f"Cluster() takes at most {len(_LEGACY_POSITIONAL)} "
-                    f"positional arguments ({len(args)} given)"
-                )
-            for name, value in zip(_LEGACY_POSITIONAL, args):
-                if kw[name] is not _UNSET:
-                    raise TypeError(f"Cluster() got multiple values for argument {name!r}")
-                kw[name] = value
-        for name, default in _DEFAULTS.items():
-            if kw[name] is _UNSET:
-                kw[name] = default
-        protocol = kw["protocol"]
-        server_names = kw["server_names"]
-        params = kw["params"]
-        placement = kw["placement"]
-        fallback = kw["fallback"]
-        fencing = kw["fencing"]
-        heartbeats = kw["heartbeats"]
-        trace = kw["trace"]
-
         if protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}; have {sorted(PROTOCOLS)}")
         if fencing not in FENCING_DRIVERS:

@@ -21,6 +21,12 @@ this kit to check the non-negotiable obligations:
    settles all-or-nothing with a serialisable lock trace.  (Scenarios
    triggered by ``log_durable`` trace records are left to the crash
    sweep — they never fire for logless protocols.)
+7. **partial fan-out crash** — protocols advertising multi-participant
+   support (``engine.max_workers is None``) additionally run one
+   four-worker batched transaction with a worker crashing mid-commit
+   at each crash point: some workers may already have force-committed
+   when the victim dies, and the batch must still settle atomically
+   (all four files or none).
 
 ``check_protocol`` returns a :class:`ConformanceReport`;
 ``tests/protocols/test_conformance.py`` runs it for every registered
@@ -98,6 +104,11 @@ def check_protocol(
     for name in FAULT_SCENARIOS:
         _check_fault_atomicity(protocol, name, settle, report)
     _check_isolation(protocol, report)
+    from repro.protocols.registry import PROTOCOLS
+
+    if PROTOCOLS[protocol].max_workers is None:
+        for crash_at in crash_points:
+            _check_fanout_partial_crash(protocol, crash_at, settle, report)
     return report
 
 
@@ -174,6 +185,47 @@ def _check_fault_atomicity(
     report.record(dentry == inode, f"{label} left a partial transaction")
     cycle = find_deadlock_cycle(set(precedence_graph(cluster.trace)))
     report.record(cycle is None, f"{label} produced conflict cycle {cycle}")
+
+
+def _check_fanout_partial_crash(
+    protocol: str,
+    crash_at: float,
+    settle: float,
+    report: ConformanceReport,
+    k: int = 4,
+) -> None:
+    """One ``k``-worker batched CREATE with a worker crash mid-commit.
+
+    The dangerous window is when some workers have already
+    force-committed their share while the victim dies with its updates
+    volatile: the protocol must drive the transaction to one atomic
+    outcome — all ``k`` files present (dentries on the coordinator,
+    one inode per worker shard) or none.
+    """
+    from repro.core.batching import BatchPlanner
+    from repro.harness.fanout import COORDINATOR, HOT_DIR, fanout_cluster
+
+    cluster = fanout_cluster(protocol, k)
+    client = cluster.new_client()
+    plans = [client.plan_create(f"{HOT_DIR}/f{i}") for i in range(k)]
+    batch = BatchPlanner(max_batch=k, max_workers=None).merge(plans)
+    victim = batch.workers[k // 2]
+    client.submit(batch)
+    cluster.sim.run(until=crash_at)
+    cluster.crash_server(victim)
+    cluster.restart_server(victim)
+    cluster.sim.run(until=cluster.sim.now + settle)
+    label = f"{protocol}: k={k} crash of {victim} at {crash_at * 1e3:.1f} ms"
+    report.record(cluster.check_invariants() == [], f"{label} violated invariants")
+    dentries = cluster.store_of(COORDINATOR).stable_directories.get(HOT_DIR, {})
+    placed = sum(1 for i in range(k) if f"f{i}" in dentries)
+    inodes = sum(
+        len(cluster.store_of(w).stable_inodes) for w in batch.workers
+    )
+    report.record(
+        (placed, inodes) in ((k, k), (0, 0)),
+        f"{label} left a partial batch ({placed}/{k} dentries, {inodes}/{k} inodes)",
+    )
 
 
 def _check_isolation(protocol: str, report: ConformanceReport) -> None:

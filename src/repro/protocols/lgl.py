@@ -66,7 +66,7 @@ from repro.protocols.base import (
     TransactionAborted,
     register_protocol,
 )
-from repro.protocols.registry import CAP_LOGLESS
+from repro.protocols.registry import CAP_LOGLESS, reject_fanout
 
 if TYPE_CHECKING:
     from repro.fs.objects import ObjectId, Update
@@ -142,10 +142,9 @@ class LoglessOnePhaseProtocol(Protocol):
     # ------------------------------------------------------------------
 
     def coordinate(self, txn: Transaction) -> Generator:
-        if len(txn.workers) > self.max_workers:
+        if self.max_workers is not None and len(txn.workers) > self.max_workers:
             raise UnsupportedOperation(
-                f"LGL handles transactions with at most {self.max_workers} worker, "
-                f"got {len(txn.workers)} (use a 2PC-family protocol for wide RENAMEs)"
+                reject_fanout(self.name, self.max_workers, len(txn.workers))
             )
         inbox = self.server.open_session(txn.txn_id)
         try:

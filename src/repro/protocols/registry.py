@@ -209,3 +209,34 @@ def default_protocols() -> Tuple[str, ...]:
     hardwired per-harness protocol tuples.
     """
     return tuple(spec.name for spec in specs())
+
+
+def fanout_capable(min_workers: int = 2) -> Tuple[str, ...]:
+    """Registered protocols that accept ``min_workers`` workers per
+    transaction (``engine.max_workers`` is ``None`` or large enough),
+    in grid enumeration order."""
+    names: list[str] = []
+    for spec in specs():
+        cap = spec.engine.max_workers
+        if cap is None or cap >= min_workers:
+            names.append(spec.name)
+    return tuple(names)
+
+
+def reject_fanout(name: str, max_workers: int, n_workers: int) -> str:
+    """Rejection message for a transaction too wide for ``name``.
+
+    Names the protocol and suggests the registered alternatives that
+    can actually run the transaction — either directly or as the
+    cluster's ``fallback=`` for wide operations.
+    """
+    alternatives = ", ".join(
+        n for n in fanout_capable(n_workers) if n != name
+    ) or "none registered"
+    plural = "worker" if max_workers == 1 else "workers"
+    return (
+        f"{name} handles transactions with at most {max_workers} {plural}, "
+        f"got {n_workers}; fan-out-capable protocols: {alternatives} "
+        f"(run one directly or configure it as the cluster fallback= "
+        f"for wide operations)"
+    )

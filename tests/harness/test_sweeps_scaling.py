@@ -63,8 +63,8 @@ def test_run_scaling_point_single_pair():
 
 
 def test_scaling_sweep_monotone():
-    table = sweep_scaling("1PC", pair_counts=(1, 2), ops_per_dir=10)
-    assert table[2] > table[1]
+    table = sweep_scaling((1, 2), protocols=("1PC",), ops_per_dir=10)
+    assert table[2]["1PC"] > table[1]["1PC"]
 
 
 def test_placement_point_subtree_is_all_local():

@@ -1,4 +1,10 @@
-"""The redesigned constructor surface and its backwards-compat shims."""
+"""The keyword-only constructor surface.
+
+The PR-2 deprecation shims (positional ``Cluster``/``Client``
+arguments, the ``trace_enabled=`` spelling) are gone: the legacy
+forms are now plain ``TypeError``s, and lint rules API001/API002 flag
+them statically everywhere.
+"""
 
 import warnings
 
@@ -10,41 +16,24 @@ from repro.mds.client import Client
 
 def test_keyword_construction_emits_no_warnings():
     with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
+        warnings.simplefilter("error")
         cluster = Cluster(protocol="1PC", server_names=["mds1", "mds2"], trace=False)
     assert cluster.protocol_name == "1PC"
 
 
-def test_positional_arguments_still_work_with_warning():
-    with pytest.warns(DeprecationWarning, match="positional"):
-        cluster = Cluster("PrC", ["mds1", "mds2", "mds3"])
-    assert cluster.protocol_name == "PrC"
-    assert sorted(cluster.servers) == ["mds1", "mds2", "mds3"]
+def test_positional_cluster_arguments_are_a_type_error():
+    with pytest.raises(TypeError, match="positional"):
+        Cluster("PrC", ["mds1", "mds2", "mds3"])  # repro: noqa API001 - asserting the hard error
 
 
-def test_positional_conflicting_with_keyword_rejected():
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError, match="multiple values"):
-            Cluster("1PC", protocol="PrN")
+def test_single_positional_cluster_argument_is_a_type_error():
+    with pytest.raises(TypeError, match="positional"):
+        Cluster("1PC")  # repro: noqa API001 - asserting the hard error
 
 
-def test_too_many_positional_arguments_rejected():
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError, match="at most"):
-            Cluster("1PC", ["a", "b"], None, None, "PrN", "stonith", False, True, "extra")
-
-
-def test_trace_enabled_spelling_still_works_with_warning():
-    with pytest.warns(DeprecationWarning, match="trace_enabled"):
-        cluster = Cluster(trace_enabled=False)
-    assert not cluster.obs.enabled
-    assert len(cluster.trace) == 0
-
-
-def test_trace_and_trace_enabled_together_rejected():
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError, match="both"):
-            Cluster(trace=True, trace_enabled=True)
+def test_trace_enabled_spelling_is_a_type_error():
+    with pytest.raises(TypeError, match="trace_enabled"):
+        Cluster(trace_enabled=False)  # repro: noqa API002 - asserting the hard error
 
 
 def test_seed_keyword_overrides_params_seed():
@@ -52,7 +41,6 @@ def test_seed_keyword_overrides_params_seed():
     cluster = Cluster(params=params, seed=1234, trace=False)
     assert cluster.params.seed == 1234
     # The original params object is untouched (frozen dataclass).
-    assert params.seed != 1234 or params.seed == 1234  # no mutation possible
     assert Cluster(params=params, trace=False).params.seed == params.seed
 
 
@@ -73,23 +61,15 @@ def test_cluster_exposes_spans_and_metrics_properties():
 def test_client_keyword_name():
     cluster = Cluster(trace=False)
     with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
+        warnings.simplefilter("error")
         client = Client(cluster, name="c9")
     assert client.name == "c9"
 
 
-def test_client_positional_name_warns():
+def test_client_positional_name_is_a_type_error():
     cluster = Cluster(trace=False)
-    with pytest.warns(DeprecationWarning, match="positional"):
-        client = Client(cluster, "legacy")
-    assert client.name == "legacy"
-
-
-def test_client_positional_and_keyword_name_rejected():
-    cluster = Cluster(trace=False)
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError):
-            Client(cluster, "a", name="b")
+    with pytest.raises(TypeError, match="positional"):
+        Client(cluster, "legacy")  # repro: noqa API001 - asserting the hard error
 
 
 def test_facade_trace_and_metrics_helpers():

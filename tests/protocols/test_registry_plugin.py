@@ -106,7 +106,7 @@ def test_toy_protocol_passes_conformance():
 def test_registry_order_paper_protocols_lead():
     names = default_protocols()
     assert names[:4] == ("PrN", "PrC", "EP", "1PC")
-    assert set(names) == {"PrN", "PrC", "EP", "1PC", "PrA", "PC", "LGL"}
+    assert set(names) == {"PrN", "PrC", "EP", "1PC", "PrA", "PC", "LGL", "1PC-N"}
 
 
 def test_specs_expose_reference_points():

@@ -3,6 +3,10 @@
 import pytest
 
 from repro.cli import main
+from repro.protocols.registry import default_protocols
+
+# Cell counts below track the registry: one figure6 cell per protocol.
+N_PROTOCOLS = len(default_protocols())
 
 
 def run_cli(capsys, *argv):
@@ -156,7 +160,7 @@ def test_cli_sweep_progress_reports_cells(capsys, tmp_path):
     code = main(["sweep", "--kind", "figure6", "--n", "6", "--progress"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "[7/7]" in captured.err
+    assert f"[{N_PROTOCOLS}/{N_PROTOCOLS}]" in captured.err
 
 
 def test_cli_sweep_cache_warm_run_hits_and_matches(capsys, tmp_path, monkeypatch):
@@ -168,13 +172,13 @@ def test_cli_sweep_cache_warm_run_hits_and_matches(capsys, tmp_path, monkeypatch
                  "--json", str(cold_json), "--canonical"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "0 hits, 7 computed" in captured.err
+    assert f"0 hits, {N_PROTOCOLS} computed" in captured.err
 
     code = main(["sweep", "--kind", "figure6", "--n", "7",
                  "--json", str(warm_json), "--canonical"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "7 hits, 0 computed" in captured.err
+    assert f"{N_PROTOCOLS} hits, 0 computed" in captured.err
     assert cold_json.read_bytes() == warm_json.read_bytes()
 
 
@@ -191,7 +195,7 @@ def test_cli_sweep_no_cache_and_refresh(capsys, tmp_path, monkeypatch):
     code = main(["sweep", "--kind", "figure6", "--n", "7", "--refresh"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "0 hits, 7 computed" in captured.err
+    assert f"0 hits, {N_PROTOCOLS} computed" in captured.err
 
 
 def test_cli_cache_stats_clear_gc(capsys, tmp_path, monkeypatch):
@@ -201,11 +205,11 @@ def test_cli_cache_stats_clear_gc(capsys, tmp_path, monkeypatch):
 
     code, out = run_cli(capsys, "cache", "stats")
     assert code == 0
-    assert "entries:     7" in out and "burst=7" in out
+    assert f"entries:     {N_PROTOCOLS}" in out and f"burst={N_PROTOCOLS}" in out
 
     code, out = run_cli(capsys, "cache", "gc", "--max-size", "0")
     assert code == 0
-    assert "evicted 7 entries" in out
+    assert f"evicted {N_PROTOCOLS} entries" in out
 
     code, out = run_cli(capsys, "cache", "clear")
     assert code == 0
@@ -222,8 +226,8 @@ def test_cli_cache_gc_rejects_negative_budget(capsys, tmp_path, monkeypatch):
 def test_cli_protocols_lists_registry(capsys):
     code, out = run_cli(capsys, "protocols")
     assert code == 0
-    assert "Registered commit protocols (7)" in out
-    for name in ("PrN", "PrC", "EP", "1PC", "PrA", "PC", "LGL"):
+    assert f"Registered commit protocols ({N_PROTOCOLS})" in out
+    for name in ("PrN", "PrC", "EP", "1PC", "PrA", "PC", "LGL", "1PC-N"):
         assert name in out
     assert "needs_acceptors" in out and "logless" in out
 
@@ -234,7 +238,9 @@ def test_cli_protocols_json_is_machine_readable(capsys):
     code, out = run_cli(capsys, "protocols", "--json")
     assert code == 0
     doc = json.loads(out)
-    assert [e["name"] for e in doc] == ["PrN", "PrC", "EP", "1PC", "PrA", "PC", "LGL"]
+    assert [e["name"] for e in doc] == [
+        "PrN", "PrC", "EP", "1PC", "PrA", "PC", "LGL", "1PC-N",
+    ]
     by_name = {e["name"]: e for e in doc}
     assert by_name["PC"]["capabilities"] == ["needs_acceptors"]
     assert by_name["LGL"]["log_records"] == []

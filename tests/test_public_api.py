@@ -46,7 +46,9 @@ def test_top_level_api_shape():
     ):
         assert symbol in repro.__all__
 
-    assert set(repro.PROTOCOLS) == {"PrN", "PrC", "EP", "PrA", "1PC", "PC", "LGL"}
+    assert set(repro.PROTOCOLS) == {
+        "PrN", "PrC", "EP", "PrA", "1PC", "PC", "LGL", "1PC-N",
+    }
 
 
 def test_version_is_set():
