@@ -15,18 +15,31 @@ zero-new-findings CI gate:
   is silently dropped instead of being driven with ``yield from``.
 * **FENCE** — protocol discipline: ``read_remote_log(...,
   require_fenced=False)`` stays confined to recovery internals and
-  tests, and every remote-log read must be dominated by a ``fence()``
-  in the same function.
+  tests; every remote-log read must be fence-dominated in its own
+  file (FENCE002), and — interprocedurally — every call into a helper
+  that reaches a read must be fence-dominated too (FENCE003).
 * **API** — no use of the removed positional ``Cluster``/``Client``
   signatures or the ``trace_enabled=`` spelling (both are a
   ``TypeError`` at runtime).
 * **OBS** — instrumentation hooks early-out on ``enabled`` before any
   other work, keeping tracing near-zero-cost when off.
+* **PROTO** — registry conformance, for every engine in
+  :mod:`repro.protocols.registry` including ``temporary_protocol``
+  plug-ins: emitted log records stay inside the spec's declared
+  vocabulary, every declared durable record is consulted on the
+  recovery path, and logless engines append nothing.
+* **RACE** — a happens-before check for the DES: state written by two
+  generator processes must not be written from a snapshot that
+  crossed a yield point (the lost-update race).
 
-Findings can be suppressed per line with ``# repro: noqa RULE-ID`` or
-grandfathered in a committed baseline file (see
-:mod:`repro.lint.baseline`).  ``docs/static-analysis.md`` holds the
-full rule catalog.
+FENCE003, PROTO and RACE are *whole-program* rules built on the
+:mod:`repro.lint.flow` layer (project index, call graph, per-function
+CFGs with dominance and yield-path queries, interprocedural fence
+summaries).  Findings can be suppressed per line with
+``# repro: noqa RULE-ID`` or grandfathered in a committed baseline
+file (see :mod:`repro.lint.baseline`).  ``docs/static-analysis.md``
+holds the full rule catalog; ``repro lint --explain RULE-ID`` prints
+one entry with good/bad examples.
 """
 
 from __future__ import annotations
@@ -34,19 +47,21 @@ from __future__ import annotations
 from repro.lint.baseline import Baseline
 from repro.lint.engine import LintReport, iter_python_files, lint_file, run_lint
 from repro.lint.findings import Finding
-from repro.lint.registry import Rule, all_rules, get_rule
-from repro.lint.reporters import render_json, render_text
+from repro.lint.registry import ProjectRule, Rule, all_rules, get_rule
+from repro.lint.reporters import render_json, render_sarif, render_text
 
 __all__ = [
     "Baseline",
     "Finding",
     "LintReport",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",
     "iter_python_files",
     "lint_file",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
 ]

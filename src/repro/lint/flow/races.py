@@ -1,0 +1,245 @@
+"""Happens-before analysis for DES shared state (rule RACE001).
+
+The deterministic kernel interleaves simulation processes **only at
+yield points**: everything between two yields of one generator is
+atomic.  The correctness idiom that follows is "re-read shared state
+after every yield".  The bug class this module catches statically is
+the stale-read-across-yield pattern:
+
+.. code-block:: python
+
+    snapshot = self.count          # read shared state
+    yield sim.timeout(1.0)         # another process may run here...
+    self.count = snapshot + 1      # ...and this write clobbers it
+
+A finding needs all three legs, which keeps the check quiet on
+ordinary code:
+
+1. the attribute (``self.X`` keyed by enclosing class, or a declared
+   ``global``) is **written by two different generator functions** —
+   a single writer cannot race itself in a cooperative kernel;
+2. one write's value derives from a **local whose defining assignment
+   read the same attribute**;
+3. some definition-to-write path **crosses a yield** without
+   redefining the local.
+
+Augmented assignments (``self.x += 1``) are read-modify-writes inside
+one atomic statement and are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.lint.context import FileContext, is_generator, walk_own
+from repro.lint.flow.dataflow import FunctionCFG, build_cfg, node_expressions
+from repro.lint.flow.project import FuncKey, FunctionInfo, ProjectContext
+
+FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: ``(module, scope, attribute)`` — scope is the class name for
+#: ``self.X`` state and ``""`` for module globals.
+StateKey = Tuple[str, str, str]
+
+
+class SharedWrite:
+    """One assignment to shared state inside a generator function."""
+
+    def __init__(
+        self, fn: FunctionInfo, stmt: ast.Assign, state: StateKey
+    ) -> None:
+        self.fn = fn
+        self.stmt = stmt
+        self.state = state
+
+
+class StaleWrite:
+    """A shared write whose value crossed a yield since reading."""
+
+    def __init__(self, write: SharedWrite, local: str, read_line: int) -> None:
+        self.write = write
+        #: The local variable carrying the stale value.
+        self.local = local
+        #: Line of the assignment that read the shared attribute.
+        self.read_line = read_line
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _globals_declared(fn: FuncNode) -> Set[str]:
+    names: Set[str] = set()
+    for node in walk_own(fn):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return names
+
+
+def _write_targets(
+    fn_info: FunctionInfo, stmt: ast.stmt, globals_in_fn: Set[str]
+) -> Iterator[StateKey]:
+    """Shared-state keys a statement assigns (plain Assign only)."""
+    if not isinstance(stmt, ast.Assign):
+        return
+    module = fn_info.module
+    cls = fn_info.class_name or ""
+    for target in stmt.targets:
+        attr = _self_attr(target)
+        if attr is not None and cls:
+            yield (module, cls, attr)
+        elif isinstance(target, ast.Name) and target.id in globals_in_fn:
+            yield (module, "", target.id)
+
+
+def _generator_functions(project: ProjectContext) -> List[FunctionInfo]:
+    found: List[FunctionInfo] = []
+    for key in sorted(project.functions):
+        info = project.functions[key]
+        if info.ctx.in_src and is_generator(info.node):
+            found.append(info)
+    return found
+
+
+def collect_shared_writes(
+    project: ProjectContext,
+) -> Dict[StateKey, List[SharedWrite]]:
+    """Every plain assignment to shared state in a generator function."""
+    writes: Dict[StateKey, List[SharedWrite]] = {}
+    for info in _generator_functions(project):
+        declared = _globals_declared(info.node)
+        cfg = build_cfg(info.node)
+        for cfg_node in cfg.nodes:
+            stmt = cfg_node.stmt
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for state in _write_targets(info, stmt, declared):
+                writes.setdefault(state, []).append(SharedWrite(info, stmt, state))
+    return writes
+
+
+def _reads_state(
+    expr: ast.AST, state: StateKey, fn_info: FunctionInfo, declared: Set[str]
+) -> bool:
+    """Whether an expression reads the shared state ``state``."""
+    _, scope, attr = state
+    for node in ast.walk(expr):
+        if scope:
+            if _self_attr(node) == attr:
+                return True
+        elif isinstance(node, ast.Name) and node.id == attr and attr in declared:
+            if isinstance(node.ctx, ast.Load):
+                return True
+    return False
+
+
+def _locals_used(expr: ast.expr) -> Set[str]:
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def _defining_nodes(
+    cfg: FunctionCFG, local: str
+) -> List[Tuple[int, ast.Assign]]:
+    """CFG nodes whose statement assigns ``local`` (plain Assign)."""
+    defs: List[Tuple[int, ast.Assign]] = []
+    for cfg_node in cfg.nodes:
+        stmt = cfg_node.stmt
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == local
+            for target in stmt.targets
+        ):
+            defs.append((cfg_node.index, stmt))
+    return defs
+
+
+def _redefinition_nodes(cfg: FunctionCFG, local: str) -> Set[int]:
+    """Every CFG node that (re)binds ``local`` — blocks stale paths."""
+    blocked: Set[int] = set()
+    for cfg_node in cfg.nodes:
+        for expr in node_expressions(cfg_node.stmt):
+            if (
+                isinstance(expr, ast.Name)
+                and expr.id == local
+                and isinstance(expr.ctx, ast.Store)
+            ):
+                blocked.add(cfg_node.index)
+                break
+    return blocked
+
+
+def stale_writes_in(
+    info: FunctionInfo, writes: List[SharedWrite]
+) -> List[StaleWrite]:
+    """The subset of ``writes`` (all within ``info``) that are stale."""
+    cfg = build_cfg(info.node)
+    declared = _globals_declared(info.node)
+    stale: List[StaleWrite] = []
+    for write in writes:
+        write_node = cfg.node_of(write.stmt)
+        if write_node is None:
+            continue
+        for local in sorted(_locals_used(write.stmt.value)):
+            for def_node, def_stmt in _defining_nodes(cfg, local):
+                if def_node == write_node:
+                    continue
+                if not _reads_state(def_stmt.value, write.state, info, declared):
+                    continue
+                # The def node stays blocked: re-executing it (a loop
+                # back-edge) rebinds the local, resetting staleness.
+                # path_crosses_yield never blocks src or dst itself.
+                blocked = _redefinition_nodes(cfg, local)
+                if cfg.path_crosses_yield(def_node, write_node, blocked):
+                    stale.append(StaleWrite(write, local, def_stmt.lineno))
+                    break
+            else:
+                continue
+            break
+    return stale
+
+
+class RaceReport:
+    """One racy shared-state key: who writes it, which write is stale."""
+
+    def __init__(
+        self,
+        state: StateKey,
+        writers: List[FuncKey],
+        stale: StaleWrite,
+    ) -> None:
+        self.state = state
+        self.writers = writers
+        self.stale = stale
+
+    @property
+    def ctx(self) -> FileContext:
+        return self.stale.write.fn.ctx
+
+
+def find_races(project: ProjectContext) -> List[RaceReport]:
+    """All stale-write races on state shared by >= 2 generator processes."""
+    by_state = collect_shared_writes(project)
+    reports: List[RaceReport] = []
+    for state in sorted(by_state):
+        writes = by_state[state]
+        writers = sorted({write.fn.key for write in writes})
+        if len(writers) < 2:
+            continue
+        by_fn: Dict[FuncKey, List[SharedWrite]] = {}
+        for write in writes:
+            by_fn.setdefault(write.fn.key, []).append(write)
+        for fn_key in sorted(by_fn):
+            fn_writes = by_fn[fn_key]
+            for stale in stale_writes_in(fn_writes[0].fn, fn_writes):
+                reports.append(RaceReport(state, writers, stale))
+    return reports

@@ -1,0 +1,341 @@
+"""Static log-record extraction for registered protocol engines.
+
+For each :class:`~repro.protocols.registry.ProtocolSpec` this module
+answers three questions the PROTO rules gate on:
+
+* which :class:`RecordKind`\\ s the engine can **append** (WAL
+  ``force``/``append_lazy`` sites reachable from its protocol
+  surface);
+* which kinds its **recovery path** consults (every ``RecordKind.X``
+  reference reachable from ``recover()``);
+* **where** each append happens (file/line, for findings).
+
+Reachability is resolved over the engine's *live* ``__mro__`` — the
+same dispatch the simulator performs — so a subclass override (PrA's
+recordless ``_force_abort_record``, LGL's logless ``run_local``)
+shadows the base implementation exactly as it does at runtime.
+``ProtocolSpec.record_sources`` extends the search to modules that
+manage records on the engine's behalf (Paxos Commit's acceptors).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.flow.project import ClassInfo, FunctionInfo, ProjectContext
+
+#: The engine entry points the simulator drives; reachability starts here.
+PROTOCOL_SURFACE = (
+    "coordinate",
+    "run_local",
+    "worker_session",
+    "handle_stray",
+    "recover",
+)
+#: Entry points that constitute the recovery path.
+RECOVERY_SURFACE = ("recover",)
+#: WAL append spellings (``self.wal.force`` / ``self.wal.append_lazy``).
+APPEND_TAILS = (("wal", "force"), ("wal", "append_lazy"))
+
+
+class AppendSite:
+    """One WAL append call, with the record kinds it writes."""
+
+    def __init__(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        method: str,
+        kinds: Tuple[str, ...],
+        node: ast.Call,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.col = col
+        self.method = method
+        self.kinds = kinds
+        self.node = node
+
+
+class EngineRecordUsage:
+    """Everything the PROTO rules need to know about one engine."""
+
+    def __init__(
+        self,
+        engine_class: ClassInfo,
+        append_sites: List[AppendSite],
+        recovery_refs: Set[str],
+    ) -> None:
+        #: The engine's own class definition (finding anchor).
+        self.engine_class = engine_class
+        self.append_sites = append_sites
+        self.recovery_refs = recovery_refs
+
+    @property
+    def emitted(self) -> Set[str]:
+        kinds: Set[str] = set()
+        for site in self.append_sites:
+            kinds.update(site.kinds)
+        return kinds
+
+    def sites_for(self, kind: str) -> List[AppendSite]:
+        return [site for site in self.append_sites if kind in site.kinds]
+
+
+class _EngineResolver:
+    """Name resolution under one engine's live method-resolution order."""
+
+    def __init__(self, project: ProjectContext, engine: type) -> None:
+        self.project = project
+        #: Project ClassInfos along the live MRO, most-derived first.
+        self.mro: List[ClassInfo] = []
+        for cls in engine.__mro__:
+            if cls is object:
+                continue
+            info = project.class_for_runtime(cls)
+            if info is not None:
+                self.mro.append(info)
+        self._mro_keys = {info.key for info in self.mro}
+
+    def engine_class(self) -> Optional[ClassInfo]:
+        return self.mro[0] if self.mro else None
+
+    def resolve_method(self, name: str) -> Optional[FunctionInfo]:
+        """First definition along the MRO — runtime dispatch."""
+        for info in self.mro:
+            found = info.methods.get(name)
+            if found is not None:
+                return found
+        return None
+
+    def resolve_super_method(
+        self, after: FunctionInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        """``super().name`` as seen from the class defining ``after``."""
+        owner = self._owning_class(after)
+        passed = False
+        for info in self.mro:
+            if not passed:
+                passed = owner is not None and info.key == owner.key
+                continue
+            found = info.methods.get(name)
+            if found is not None:
+                return found
+        return None
+
+    def _owning_class(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        cls_name = fn.class_name
+        if cls_name is None:
+            return None
+        return self.project.class_named(fn.module, cls_name)
+
+    def in_mro(self, fn: FunctionInfo) -> bool:
+        owner = self._owning_class(fn)
+        return owner is not None and owner.key in self._mro_keys
+
+    def resolve_callee(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """MRO-aware callee resolution for the closure walk."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(caller, func.id)
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                if self.in_mro(caller):
+                    return self.resolve_method(func.attr)
+                return self._resolve_static_method(caller, func.attr)
+            if (
+                isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+            ):
+                if self.in_mro(caller):
+                    return self.resolve_super_method(caller, func.attr)
+                return None
+            dotted = caller.ctx.qualified_name(func)
+            if dotted is not None and "." in dotted:
+                module, _, name = dotted.rpartition(".")
+                return self.project.function(module, name)
+        return None
+
+    def _resolve_bare(
+        self, caller: FunctionInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        scope = caller.qualname
+        while scope:
+            nested = self.project.function(caller.module, f"{scope}.{name}")
+            if nested is not None:
+                return nested
+            scope, _, _ = scope.rpartition(".")
+        local = self.project.function(caller.module, name)
+        if local is not None:
+            return local
+        imported = caller.ctx.imports.get(name)
+        if imported is not None and "." in imported:
+            module, _, func_name = imported.rpartition(".")
+            return self.project.function(module, func_name)
+        return None
+
+    def _resolve_static_method(
+        self, caller: FunctionInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        """``self.name`` in a class outside the engine MRO (e.g. an
+        acceptor node from ``record_sources``): static base-chain walk."""
+        owner = self._owning_class(caller)
+        if owner is None:
+            return None
+        for info in self.project.static_mro(owner):
+            found = info.methods.get(name)
+            if found is not None:
+                return found
+        return None
+
+
+def _record_kind_refs(ctx_imports: Dict[str, str], node: ast.AST) -> Set[str]:
+    """All ``RecordKind.X`` attribute references inside ``node``."""
+    kinds: Set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and ctx_imports.get(sub.value.id, sub.value.id).endswith("RecordKind")
+        ):
+            kinds.add(sub.attr)
+    return kinds
+
+
+def _is_append_call(fn: FunctionInfo, call: ast.Call) -> bool:
+    dotted = fn.ctx.dotted_name(call.func)
+    return dotted is not None and any(
+        dotted[-len(tail) :] == tail for tail in APPEND_TAILS if len(dotted) >= len(tail)
+    )
+
+
+def _closure(
+    resolver: _EngineResolver, roots: Sequence[FunctionInfo]
+) -> List[FunctionInfo]:
+    """Transitive callee closure (full function bodies, nested defs in)."""
+    seen: Dict[Tuple[str, str], FunctionInfo] = {}
+    stack = list(roots)
+    while stack:
+        fn = stack.pop()
+        if fn.key in seen:
+            continue
+        seen[fn.key] = fn
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                callee = resolver.resolve_callee(fn, node)
+                if callee is not None and callee.key not in seen:
+                    stack.append(callee)
+    return [seen[key] for key in sorted(seen)]
+
+
+def _argument_kinds(
+    resolver: _EngineResolver, fn: FunctionInfo, expr: ast.expr
+) -> Set[str]:
+    """Record kinds one append-call argument contributes.
+
+    Literal ``RecordKind.X`` references in the expression win; an
+    argument that is a call to a record builder with no literal kind
+    (``self.updates_rec(...)``) contributes the kinds referenced in the
+    builder's body; a bare name is chased to its assignments within the
+    function.
+    """
+    if isinstance(expr, ast.Starred):
+        return _argument_kinds(resolver, fn, expr.value)
+    direct = _record_kind_refs(fn.ctx.imports, expr)
+    if direct:
+        return direct
+    if isinstance(expr, ast.Call):
+        callee = resolver.resolve_callee(fn, expr)
+        if callee is not None:
+            return _record_kind_refs(callee.ctx.imports, callee.node)
+        return set()
+    if isinstance(expr, ast.Name):
+        kinds: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(target, ast.Name) and target.id == expr.id
+                for target in node.targets
+            ):
+                kinds |= _argument_kinds(resolver, fn, node.value)
+        return kinds
+    return set()
+
+
+def _append_sites_in(
+    resolver: _EngineResolver, functions: Sequence[FunctionInfo]
+) -> List[AppendSite]:
+    sites: List[AppendSite] = []
+    located: Set[Tuple[str, int, int]] = set()
+    for fn in functions:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call) or not _is_append_call(fn, node):
+                continue
+            # A nested def reached both through its enclosing method's
+            # walk and as its own closure entry reports one site once.
+            where = (fn.ctx.display_path, node.lineno, node.col_offset)
+            if where in located:
+                continue
+            located.add(where)
+            kinds: Set[str] = set()
+            for arg in node.args:
+                kinds |= _argument_kinds(resolver, fn, arg)
+            sites.append(
+                AppendSite(
+                    path=fn.ctx.display_path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    method=fn.qualname,
+                    kinds=tuple(sorted(kinds)),
+                    node=node,
+                )
+            )
+    sites.sort(key=lambda site: (site.path, site.line, site.col))
+    return sites
+
+
+def _source_functions(
+    project: ProjectContext, modules: Sequence[str]
+) -> List[FunctionInfo]:
+    found: List[FunctionInfo] = []
+    for key in sorted(project.functions):
+        info = project.functions[key]
+        if info.module in modules:
+            found.append(info)
+    return found
+
+
+def extract_engine_records(
+    project: ProjectContext, engine: type, record_sources: Sequence[str] = ()
+) -> Optional[EngineRecordUsage]:
+    """Static record usage of ``engine``, or ``None`` when its source
+    is not part of the linted project."""
+    resolver = _EngineResolver(project, engine)
+    engine_class = resolver.engine_class()
+    if engine_class is None:
+        return None
+    sources = _source_functions(project, tuple(record_sources))
+
+    surface = [
+        fn
+        for name in PROTOCOL_SURFACE
+        if (fn := resolver.resolve_method(name)) is not None
+    ]
+    emission_set = _closure(resolver, [*surface, *sources])
+    append_sites = _append_sites_in(resolver, emission_set)
+
+    recovery_roots = [
+        fn
+        for name in RECOVERY_SURFACE
+        if (fn := resolver.resolve_method(name)) is not None
+    ]
+    recovery_set = _closure(resolver, [*recovery_roots, *sources])
+    recovery_refs: Set[str] = set()
+    for fn in recovery_set:
+        recovery_refs |= _record_kind_refs(fn.ctx.imports, fn.node)
+
+    return EngineRecordUsage(engine_class, append_sites, recovery_refs)

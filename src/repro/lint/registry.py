@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, Optional, Type, TypeVar
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Type, TypeVar
 
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding
 from repro.lint.pragmas import rule_family
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.flow.project import ProjectContext
 
 
 class Rule(ABC):
@@ -15,12 +18,16 @@ class Rule(ABC):
 
     Subclasses set ``id`` (``DET003``), a one-line ``summary``, and a
     ``rationale`` tying the rule to the paper/repo requirement it
-    protects, then implement :meth:`check`.
+    protects, then implement :meth:`check`.  ``good_example`` /
+    ``bad_example`` are short idiom snippets printed by
+    ``repro lint --explain RULE-ID``.
     """
 
     id: str = ""
     summary: str = ""
     rationale: str = ""
+    good_example: str = ""
+    bad_example: str = ""
 
     @property
     def family(self) -> str:
@@ -29,6 +36,23 @@ class Rule(ABC):
     @abstractmethod
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one file."""
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A whole-program check over the :class:`ProjectContext`.
+
+    Project rules see every linted file at once (call graph, engine
+    registry, shared-state index) and run after the per-file pass;
+    their per-file :meth:`check` is a no-op by construction.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings for the whole project."""
         raise NotImplementedError
 
 

@@ -1,4 +1,4 @@
-"""Text and JSON renderers for lint reports."""
+"""Text, JSON and SARIF renderers for lint reports."""
 
 from __future__ import annotations
 
@@ -6,9 +6,18 @@ import json
 from typing import Any
 
 from repro.lint.engine import LintReport
+from repro.lint.findings import Finding
 from repro.lint.registry import all_rules
 
 REPORT_SCHEMA_VERSION = 1
+
+#: SARIF 2.1.0 — the static-analysis interchange format GitHub code
+#: scanning ingests (via codeql-action/upload-sarif in CI).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(report: LintReport, verbose: bool = False) -> str:
@@ -39,5 +48,76 @@ def render_json(report: LintReport) -> str:
         "findings": [finding.to_dict() for finding in report.findings],
         "baselined": [finding.to_dict() for finding in report.baselined],
         "rules": {rule.id: rule.summary for rule in all_rules()},
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_result(
+    finding: Finding, rule_index: dict[str, int], suppressed: bool
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 0) + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if suppressed:
+        # Baselined findings travel in the log but arrive pre-dismissed.
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log for GitHub code-scanning upload.
+
+    New findings become plain ``error`` results; baselined ones are
+    included with an external suppression so code scanning shows them
+    as dismissed rather than resurrecting them as alerts.
+    """
+    rules = all_rules()
+    rule_index = {rule.id: index for index, rule in enumerate(rules)}
+    descriptors = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+    results = [
+        _sarif_result(finding, rule_index, suppressed=False)
+        for finding in report.findings
+    ] + [
+        _sarif_result(finding, rule_index, suppressed=True)
+        for finding in report.baselined
+    ]
+    doc: dict[str, Any] = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
     }
     return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -5,4 +5,14 @@ Importing this package registers every rule with the registry.
 
 from __future__ import annotations
 
-from repro.lint.rules import api, cache, det, fence, gen, obs  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    api,
+    cache,
+    det,
+    fence,
+    fence_flow,
+    gen,
+    obs,
+    proto,
+    race,
+)

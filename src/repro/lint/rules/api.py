@@ -31,6 +31,8 @@ class PositionalConstructorRule(Rule):
         "positional call is a TypeError at runtime now that the "
         "legacy shims are gone."
     )
+    good_example = "cluster = Cluster(sim=sim, servers=4)"
+    bad_example = "cluster = Cluster(sim, 4)"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -60,6 +62,8 @@ class TraceEnabledSpellingRule(Rule):
         "trace_enabled= was removed with the deprecation shims; the "
         "call is a TypeError at runtime."
     )
+    good_example = "cluster = Cluster(sim=sim, trace=True)"
+    bad_example = "cluster = Cluster(sim=sim, trace_enabled=True)"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -39,6 +39,8 @@ class SortedJsonRule(Rule):
         "format, breaking that identity the first time a field is "
         "added in a different place."
     )
+    good_example = "payload = json.dumps(doc, sort_keys=True)"
+    bad_example = "payload = json.dumps(doc)"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not (ctx.in_src and ctx.area in _AREAS):

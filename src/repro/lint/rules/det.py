@@ -52,6 +52,8 @@ class WallClockRule(Rule):
         "read anywhere in the simulation or its harnesses breaks the "
         "bit-identical replay the CI baselines depend on."
     )
+    good_example = "started_at = sim.now"
+    bad_example = "started_at = time.time()"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.in_src:
@@ -78,6 +80,8 @@ class GlobalRandomRule(Rule):
         "seeded from OS entropy; every stochastic choice must come from "
         "the run's seeded RngRegistry stream instead."
     )
+    good_example = 'delay = rngs.stream("net").uniform(0.1, 0.2)'
+    bad_example = "delay = random.uniform(0.1, 0.2)"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.in_src:
@@ -111,6 +115,8 @@ class SetIterationRule(Rule):
         "becomes part of the event schedule and breaks cross-process "
         "determinism."
     )
+    good_example = "for worker in sorted(pending):"
+    bad_example = "for worker in pending:  # pending is a set"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not (ctx.in_src and ctx.area in EVENT_ORDERING_AREAS):

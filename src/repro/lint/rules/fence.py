@@ -39,6 +39,40 @@ def _read_remote_log_calls(ctx: FileContext) -> Iterator[ast.Call]:
             yield node
 
 
+def _file_functions(ctx: FileContext) -> dict[str, ast.AST]:
+    """Every function/method defined in this file, by bare name."""
+    table: dict[str, ast.AST] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table.setdefault(node.name, node)
+    return table
+
+
+def _fences_transitively(
+    ctx: FileContext,
+    fn: ast.AST,
+    table: dict[str, ast.AST],
+    seen: frozenset,
+) -> bool:
+    """Whether ``fn`` calls fence()/is_fenced(), possibly via same-file
+    helpers (so a fence factored into ``_ensure_fenced()`` still counts)."""
+    if id(fn) in seen:
+        return False
+    seen = seen | {id(fn)}
+    for node in walk_own(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.dotted_name(node.func)
+        if dotted is None:
+            continue
+        if dotted[-1] in _FENCE_CALLEES:
+            return True
+        callee = table.get(dotted[-1])
+        if callee is not None and _fences_transitively(ctx, callee, table, seen):
+            return True
+    return False
+
+
 @register
 class UnfencedEscapeHatchRule(Rule):
     id = "FENCE001"
@@ -48,6 +82,8 @@ class UnfencedEscapeHatchRule(Rule):
         "split-brain hazard in tests; production protocol code must "
         "never opt out of the fencing check."
     )
+    good_example = "records = read_remote_log(worker, txn_id)"
+    bad_example = "records = read_remote_log(worker, txn_id, require_fenced=False)"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.in_tests or ctx.is_module(*_RECOVERY_MODULES):
@@ -71,16 +107,24 @@ class UnfencedEscapeHatchRule(Rule):
 @register
 class UnfencedReadRule(Rule):
     id = "FENCE002"
-    summary = "remote-log reads must be dominated by a fence() in the same function"
+    summary = "remote-log reads must be fence-dominated in the same file"
     rationale = (
         "A coordinator may mount another MDS's log partition only "
         "after fencing it; statically, every read_remote_log call must "
-        "be preceded in its function by a fence()/is_fenced() call."
+        "be preceded in its function by a fence()/is_fenced() call or "
+        "a call to a same-file helper that performs one.  Reads hidden "
+        "behind helpers in *other* files are FENCE003's territory."
     )
+    good_example = (
+        "yield from cluster.fencing_driver.fence(worker)\n"
+        "records = read_remote_log(worker, txn_id)"
+    )
+    bad_example = "records = read_remote_log(worker, txn_id)  # no fence first"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.in_tests or ctx.is_module(*_DEFINING_MODULES):
             return
+        table = _file_functions(ctx)
         for call in _read_remote_log_calls(ctx):
             fn = ctx.enclosing_function(call)
             if fn is None:
@@ -94,9 +138,18 @@ class UnfencedReadRule(Rule):
             dominated = any(
                 isinstance(node, ast.Call)
                 and (dotted := ctx.dotted_name(node.func)) is not None
-                and dotted[-1] in _FENCE_CALLEES
                 and node.lineno <= call.lineno
                 and node is not call
+                and (
+                    dotted[-1] in _FENCE_CALLEES
+                    or (
+                        (callee := table.get(dotted[-1])) is not None
+                        and callee is not fn
+                        and _fences_transitively(
+                            ctx, callee, table, frozenset({id(fn)})
+                        )
+                    )
+                )
                 for node in walk_own(fn)
             )
             if not dominated:

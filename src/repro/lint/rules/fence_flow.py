@@ -1,0 +1,66 @@
+"""FENCE003 — interprocedural fence-before-remote-log-read (§III).
+
+FENCE002 checks each function in isolation, so it has a structural
+blind spot: a ``read_remote_log`` buried in a helper escapes it at
+every call site (the helper legitimately suppresses the in-helper
+finding with a pragma, and the *callers* — where the fence obligation
+actually lives — are never examined).  FENCE003 closes the gap with
+whole-program fence summaries: a call into a helper that exposes an
+unfenced read must itself be dominated by a fence, or the finding
+lands at the call site with the helper chain spelled out.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.flow.project import ProjectContext
+
+
+@register
+class InterproceduralUnfencedReadRule(ProjectRule):
+    id = "FENCE003"
+    summary = "helper calls reaching read_remote_log must be fence-dominated"
+    rationale = (
+        "A coordinator may mount another MDS's log partition only after "
+        "fencing it; FENCE002 sees reads in the same function, this rule "
+        "follows the call graph so a read hidden in a helper still "
+        "obligates every caller to fence first."
+    )
+    good_example = (
+        "if not cluster.storage.fencing.is_fenced(worker):\n"
+        "    yield from cluster.fencing_driver.fence(worker)\n"
+        "records = yield from pull_worker_records(worker, txn_id)"
+    )
+    bad_example = (
+        "# pull_worker_records() hides a read_remote_log(...):\n"
+        "records = yield from pull_worker_records(worker, txn_id)"
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        from repro.lint.flow.callgraph import build_call_graph
+        from repro.lint.flow.summaries import compute_fence_summaries
+
+        graph = build_call_graph(project)
+        summaries = compute_fence_summaries(project, graph)
+        for key in sorted(summaries.escaping):
+            info = project.functions[key]
+            if not info.ctx.in_src:
+                continue
+            for read in summaries.escaping_reads(key):
+                if read.site is None:
+                    # Uncovered *direct* reads are FENCE002's findings;
+                    # duplicating them here would double-report.
+                    continue
+                via = "' -> '".join(f"{name}()" for name in read.chain)
+                yield info.ctx.finding(
+                    read.node,
+                    self.id,
+                    f"call in {info.name!r} reaches read_remote_log(...) via "
+                    f"helper '{via}' without a dominating fence()/is_fenced() "
+                    "(§III discipline: fence before reading a remote log)",
+                )

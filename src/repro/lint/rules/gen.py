@@ -73,6 +73,8 @@ class BlockingCallRule(Rule):
         "yield sim.timeout(...); a host sleep or real IO call blocks "
         "the deterministic kernel and ties results to the machine."
     )
+    good_example = "yield sim.timeout(0.5)"
+    bad_example = "time.sleep(0.5)  # inside a generator process"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.in_src:
@@ -102,6 +104,8 @@ class DroppedProcessRule(Rule):
         "without `yield from` (or sim.process(...)) its body — a WAL "
         "force, a fencing action, a remote log read — never runs."
     )
+    good_example = "yield from self.wal.force(record)"
+    bad_example = "self.wal.force(record)  # generator built, never driven"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.in_src:

@@ -67,6 +67,18 @@ class EnabledGuardRule(Rule):
         "building) is paid even when tracing is off, eroding the "
         "near-zero-cost guarantee the smoke bench gates."
     )
+    good_example = (
+        "def on_send(self, msg):\n"
+        "    if not self.enabled:\n"
+        "        return\n"
+        "    self.trace.emit(...)"
+    )
+    bad_example = (
+        "def on_send(self, msg):\n"
+        '    label = f"{msg.src}->{msg.dst}"  # paid even when disabled\n'
+        "    if self.enabled:\n"
+        "        self.trace.emit(label)"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not (ctx.in_src and ctx.area == "obs"):

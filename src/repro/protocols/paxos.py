@@ -194,5 +194,8 @@ register_protocol(
             "(ACM TODS 31(1), 2006)"
         ),
         order=5,
+        # BALLOT records are forced by the acceptor nodes, not the
+        # engine class; the static verifier searches that module too.
+        record_sources=("repro.mds.acceptor",),
     )
 )

@@ -49,6 +49,16 @@ class PresumedAbortProtocol(PresumeNothingProtocol):
         # transaction aborted.
         return MsgKind.ABORT
 
+    def _force_abort_record(self, txn_id: int, reason: str) -> Generator:
+        """Presumed abort never makes an ABORTED record durable.
+
+        This also covers the inherited recovery paths (abort after a
+        failed re-vote): the coordinator just drops the transaction and
+        the presumption answers any later decision query.
+        """
+        return
+        yield  # pragma: no cover - generator marker
+
     def _abort(self, txn: Transaction, inbox: "Store", reason: str) -> Generator:
         """Presumed abort: drop state, tell whoever is listening, move on.
 

@@ -227,10 +227,19 @@ class PresumeNothingProtocol(Protocol):
         )
         return False
 
+    def _force_abort_record(self, txn_id: int, reason: str) -> Generator:
+        """Make the abort decision durable before announcing it.
+
+        Overridable: presumed-abort engines skip the record entirely —
+        absence of coordinator log state already answers later
+        decision queries with ABORT.
+        """
+        yield from self.wal.force(self.state_rec(RecordKind.ABORTED, txn_id, reason=reason))
+
     def _abort(self, txn: Transaction, inbox: "Store", reason: str) -> Generator:
         """Abort path: force ABORTED, tell the workers, release, reply."""
         txn_id = txn.txn_id
-        yield from self.wal.force(self.state_rec(RecordKind.ABORTED, txn_id, reason=reason))
+        yield from self._force_abort_record(txn_id, reason)
         self.store.abort(txn_id)
         self.locks.release_all(txn_id)
         for worker in txn.workers:
@@ -430,9 +439,7 @@ class PresumeNothingProtocol(Protocol):
         try:
             if state == RecordKind.STARTED:
                 # Crashed before preparing: updates lost -> abort.
-                yield from self.wal.force(
-                    self.state_rec(RecordKind.ABORTED, txn_id, reason="coordinator crash")
-                )
+                yield from self._force_abort_record(txn_id, "coordinator crash")
                 for worker in workers:
                     self.send(worker, MsgKind.ABORT, txn_id)
                 acked = True
@@ -451,9 +458,7 @@ class PresumeNothingProtocol(Protocol):
                 try:
                     yield from self._voting_round(workers, txn_id, inbox)
                 except TransactionAborted as aborted:
-                    yield from self.wal.force(
-                        self.state_rec(RecordKind.ABORTED, txn_id, reason=aborted.reason)
-                    )
+                    yield from self._force_abort_record(txn_id, aborted.reason)
                     self.store.abort(txn_id)
                     for worker in workers:
                         self.send(worker, MsgKind.ABORT, txn_id)

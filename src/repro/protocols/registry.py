@@ -79,6 +79,12 @@ class ProtocolSpec:
     #: Explicit position in grid enumeration order; unordered specs
     #: come after all ordered ones, in registration order.
     order: Optional[int] = None
+    #: Dotted modules that manage part of the declared vocabulary on
+    #: the engine's behalf (e.g. Paxos Commit's BALLOT records live in
+    #: ``repro.mds.acceptor``, not the engine class).  The static
+    #: verifier (PROTO001-003) extends its emission/recovery search to
+    #: these modules.
+    record_sources: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -94,6 +100,10 @@ class ProtocolSpec:
         if self.table1_row is not None and len(self.table1_row) != 6:
             raise ValueError("table1_row must have six entries")
 
+    def declared_records(self) -> frozenset:
+        """The spec's durable-record vocabulary as a set of kind names."""
+        return frozenset(self.log_records)
+
     def describe(self) -> dict:
         """JSON-friendly summary (``repro protocols --json``)."""
         return {
@@ -106,6 +116,7 @@ class ProtocolSpec:
             "table1_row": list(self.table1_row) if self.table1_row else None,
             "citation": self.citation,
             "max_workers": self.engine.max_workers,
+            "record_sources": list(self.record_sources),
         }
 
 
@@ -200,6 +211,17 @@ def specs() -> Tuple[ProtocolSpec, ...]:
         return (1, 0, _SEQ[spec.name])
 
     return tuple(sorted(_SPECS.values(), key=key))
+
+
+def record_vocabulary() -> dict[str, Tuple[str, ...]]:
+    """Declared log-record vocabulary per registered protocol.
+
+    The introspection surface the whole-program verifier
+    (:mod:`repro.lint.flow.records`, rules PROTO001-003) checks the
+    engines' *actual* append sites against: ``{name: log_records}`` in
+    grid enumeration order.  Logless protocols map to an empty tuple.
+    """
+    return {spec.name: tuple(spec.log_records) for spec in specs()}
 
 
 def default_protocols() -> Tuple[str, ...]:

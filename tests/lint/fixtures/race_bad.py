@@ -1,0 +1,21 @@
+# repro: path src/repro/sim/race_fixture.py
+"""RACE001 fixture: a lost update across a yield point."""
+
+
+class TicketCounter:
+    def __init__(self, sim):
+        self.sim = sim
+        self.issued = 0
+
+    def issuer(self, sim):
+        while True:
+            snapshot = self.issued
+            yield sim.timeout(1.0)
+            # RACE001: snapshot is stale — redeemer may have run at
+            # the yield, and this write silently discards its update.
+            self.issued = snapshot + 1
+
+    def redeemer(self, sim):
+        while True:
+            yield sim.timeout(2.0)
+            self.issued = self.issued - 1

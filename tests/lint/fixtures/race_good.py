@@ -1,0 +1,19 @@
+# repro: path src/repro/sim/race_fixture_ok.py
+"""RACE001 fixture: the same two processes, read-after-yield — clean."""
+
+
+class TicketCounter:
+    def __init__(self, sim):
+        self.sim = sim
+        self.issued = 0
+
+    def issuer(self, sim):
+        while True:
+            yield sim.timeout(1.0)
+            fresh = self.issued
+            self.issued = fresh + 1
+
+    def redeemer(self, sim):
+        while True:
+            yield sim.timeout(2.0)
+            self.issued = self.issued - 1

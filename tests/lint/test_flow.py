@@ -1,0 +1,187 @@
+"""The whole-program layer: call graph, CFG facts, and FENCE003.
+
+The paired fence_flow fixtures are the proof obligation from the
+issue: FENCE002 alone provably misses the fence-in-helper /
+read-in-helper split, and FENCE003 catches it with caller context.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.context import FileContext
+from repro.lint.flow.callgraph import build_call_graph
+from repro.lint.flow.dataflow import build_cfg
+from repro.lint.flow.project import ProjectContext
+from repro.lint.flow.summaries import compute_fence_summaries
+from repro.lint.registry import select_rules
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _context(source: str, path: str = "src/repro/core/snippet.py") -> FileContext:
+    text = textwrap.dedent(source)
+    return FileContext(Path(path), text, ast.parse(text))
+
+
+def _project(*sources: str) -> ProjectContext:
+    return ProjectContext(
+        [
+            _context(source, f"src/repro/core/snippet{index}.py")
+            for index, source in enumerate(sources)
+        ]
+    )
+
+
+# -- call graph ---------------------------------------------------------------
+
+
+def test_call_graph_resolves_module_self_and_super_calls():
+    project = _project(
+        """
+        def helper():
+            return 1
+
+        class Base:
+            def step(self):
+                return helper()
+
+        class Derived(Base):
+            def step(self):
+                return super().step()
+
+            def run(self):
+                return self.step()
+        """
+    )
+    graph = build_call_graph(project)
+    module = "repro.core.snippet0"
+    callees = {
+        caller[1]: {callee[1] for callee in graph.callees(caller)}
+        for caller in project.functions
+    }
+    assert callees["Base.step"] == {"helper"}
+    assert callees["Derived.step"] == {"Base.step"}
+    assert callees["Derived.run"] == {"Derived.step"}
+    assert all(key[0] == module for key in project.functions)
+
+
+# -- CFG ----------------------------------------------------------------------
+
+
+def test_cfg_dominance_and_yield_paths():
+    source = textwrap.dedent(
+        """
+        def proc(sim, flag):
+            a = 1
+            if flag:
+                yield sim.timeout(1.0)
+            b = a + 1
+            return b
+        """
+    )
+    fn = ast.parse(source).body[0]
+    cfg = build_cfg(fn)
+    nodes = {type(node.stmt).__name__: node.index for node in cfg.nodes}
+    # `a = 1` dominates `b = a + 1`; the yield (inside the if) does not.
+    assign_nodes = [
+        node.index for node in cfg.nodes if isinstance(node.stmt, ast.Assign)
+    ]
+    first, last = min(assign_nodes), max(assign_nodes)
+    assert cfg.dominated_by(last, {first})
+    yield_node = nodes["Expr"]
+    assert not cfg.dominated_by(last, {yield_node})
+    # One path a -> b crosses the yield, so the relation holds.
+    assert cfg.path_crosses_yield(first, last, set())
+
+
+def test_cfg_yield_path_respects_blocked_nodes():
+    source = textwrap.dedent(
+        """
+        def proc(sim):
+            a = 1
+            yield sim.timeout(1.0)
+            a = 2
+            consume(a)
+        """
+    )
+    fn = ast.parse(source).body[0]
+    cfg = build_cfg(fn)
+    assigns = [n.index for n in cfg.nodes if isinstance(n.stmt, ast.Assign)]
+    use = max(n.index for n in cfg.nodes if isinstance(n.stmt, ast.Expr))
+    # Blocking the redefinition kills the only yield-crossing path.
+    assert cfg.path_crosses_yield(assigns[0], use, set())
+    assert not cfg.path_crosses_yield(assigns[0], use, {assigns[1]})
+
+
+# -- fence summaries ----------------------------------------------------------
+
+
+def test_fence_summaries_propagate_through_helpers():
+    project = _project(
+        """
+        def _ensure_fenced(cluster, worker):
+            yield from cluster.fencing_driver.fence(worker)
+
+        def _pull(cluster, worker):
+            records = yield from cluster.storage.read_remote_log(worker)
+            return records
+
+        def covered(cluster, worker):
+            yield from _ensure_fenced(cluster, worker)
+            yield from _pull(cluster, worker)
+
+        def exposed(cluster, worker):
+            yield from _pull(cluster, worker)
+        """
+    )
+    graph = build_call_graph(project)
+    summaries = compute_fence_summaries(project, graph)
+    module = "repro.core.snippet0"
+    assert (module, "_ensure_fenced") in summaries.establishes
+    escaping = {key[1] for key in summaries.escaping}
+    assert "_pull" in escaping  # the direct, pragma-able read
+    assert "exposed" in escaping  # the caller FENCE003 reports
+    assert "covered" not in escaping
+
+
+# -- FENCE003 end-to-end ------------------------------------------------------
+
+
+def test_fence003_catches_read_hidden_in_helper():
+    report = run_lint(
+        [FIXTURES / "fence_flow_bad.py"], rules=select_rules(["FENCE"])
+    )
+    assert [f.rule for f in report.findings] == ["FENCE003"]
+    finding = report.findings[0]
+    assert "unfenced_sweep" in finding.message
+    assert "_pull_records()" in finding.message  # helper chain context
+
+
+def test_fence002_alone_provably_misses_the_split():
+    # The same fixture under FENCE002 only: zero findings — the helper
+    # pragma suppresses the in-helper read and the caller has no read.
+    report = run_lint(
+        [FIXTURES / "fence_flow_bad.py"], rules=select_rules(["FENCE002"])
+    )
+    assert report.findings == []
+
+
+def test_fence_flow_good_fixture_is_clean():
+    # Fence-in-helper satisfies both FENCE002 (same file, no pragma on
+    # direct_probe's read) and FENCE003 (helper summaries).
+    report = run_lint(
+        [FIXTURES / "fence_flow_good.py"], rules=select_rules(["FENCE"])
+    )
+    assert report.findings == []
+
+
+def test_fence003_is_quiet_on_the_real_tree():
+    report = run_lint(
+        [ROOT / "src" / "repro"], rules=select_rules(["FENCE003"]), root=ROOT
+    )
+    assert report.findings == []

@@ -1,0 +1,48 @@
+"""RACE001: stale shared-state writes across DES yield points."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.registry import select_rules
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _race_report(*paths, root=None):
+    return run_lint(list(paths), rules=select_rules(["RACE"]), root=root)
+
+
+def test_racy_fixture_reports_the_stale_write():
+    report = _race_report(FIXTURES / "race_bad.py")
+    assert [f.rule for f in report.findings] == ["RACE001"]
+    message = report.findings[0].message
+    assert "TicketCounter.issued" in message
+    assert "'snapshot'" in message
+    assert "issuer()" in message and "redeemer()" in message
+
+
+def test_yield_separated_fixture_is_clean():
+    # Identical processes, but the read happens after the yield: the
+    # read-modify-write is atomic at kernel granularity.
+    report = _race_report(FIXTURES / "race_good.py")
+    assert report.findings == []
+
+
+def test_no_false_positives_on_the_real_fanout_and_commit_paths():
+    # core/fanout.py's sweep loop and core/one_phase.py's commit path
+    # both mutate shared engine state from generator processes; the
+    # three-legged race condition must keep them clean.
+    report = _race_report(
+        ROOT / "src" / "repro" / "core" / "fanout.py",
+        ROOT / "src" / "repro" / "core" / "one_phase.py",
+        root=ROOT,
+    )
+    assert report.findings == []
+
+
+def test_no_false_positives_across_the_whole_tree():
+    report = _race_report(ROOT / "src" / "repro", root=ROOT)
+    assert report.findings == []

@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.cli import main
 from repro.lint import Baseline, run_lint
 
@@ -59,8 +61,126 @@ def test_cli_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("DET001", "DET002", "DET003", "GEN001", "GEN002",
-                    "FENCE001", "FENCE002", "API001", "API002", "OBS001"):
+                    "FENCE001", "FENCE002", "FENCE003", "API001", "API002",
+                    "OBS001", "PROTO001", "PROTO002", "PROTO003", "RACE001"):
         assert rule_id in out
+
+
+def test_self_lint_gate_covers_the_new_families():
+    # The dogfooding gate above runs with the default rule set; this
+    # pins that the whole-program families are part of that set.
+    from repro.lint.registry import ProjectRule, all_rules
+
+    project_ids = {r.id for r in all_rules() if isinstance(r, ProjectRule)}
+    assert {"FENCE003", "PROTO001", "PROTO002", "PROTO003", "RACE001"} <= project_ids
+
+
+def test_cli_explain_prints_catalog_entry(capsys):
+    assert main(["lint", "--explain", "RACE001"]) == 0
+    out = capsys.readouterr().out
+    assert "RACE001" in out and "(RACE)" in out
+    assert "good:" in out and "bad:" in out
+    assert "snapshot = self.count" in out
+
+
+def test_cli_explain_unknown_rule_errors(capsys):
+    assert main(["lint", "--explain", "NOPE999"]) == 2
+
+
+def test_every_rule_has_examples_for_explain():
+    from repro.lint.registry import all_rules
+
+    for rule in all_rules():
+        assert rule.good_example, f"{rule.id} lacks a good example"
+        assert rule.bad_example, f"{rule.id} lacks a bad example"
+
+
+def test_cli_rule_flag_merges_with_select(capsys):
+    code = main(["lint", str(FIXTURES / "det_bad.py"),
+                 "--select", "DET002", "--rule", "DET001"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "DET002" in out and "DET003" not in out
+
+
+def test_cli_sarif_format_is_valid_2_1_0(capsys):
+    code = main(["lint", str(FIXTURES / "fence_bad.py"), "--format", "sarif"])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    ids = [rule["id"] for rule in driver["rules"]]
+    assert "FENCE002" in ids and "RACE001" in ids
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+    assert run["results"], "fence_bad must produce results"
+    for result in run["results"]:
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        assert ids[result["ruleIndex"]] == result["ruleId"]
+        (location,) = result["locations"]
+        region = location["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        uri = location["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri.endswith("fence_bad.py")
+
+
+def test_sarif_schema_validation_when_available():
+    jsonschema = pytest.importorskip("jsonschema")
+    from repro.lint.engine import run_lint as _run
+    from repro.lint.reporters import render_sarif
+
+    report = _run([FIXTURES / "fence_bad.py"])
+    doc = json.loads(render_sarif(report))
+    # Offline structural subset of the SARIF 2.1.0 schema: the full
+    # schema lives at $schema and CI's upload step validates the rest.
+    schema = {
+        "type": "object",
+        "required": ["version", "runs"],
+        "properties": {
+            "version": {"const": "2.1.0"},
+            "runs": {
+                "type": "array",
+                "minItems": 1,
+                "items": {
+                    "type": "object",
+                    "required": ["tool", "results"],
+                    "properties": {
+                        "tool": {
+                            "type": "object",
+                            "required": ["driver"],
+                            "properties": {
+                                "driver": {
+                                    "type": "object",
+                                    "required": ["name"],
+                                }
+                            },
+                        },
+                        "results": {"type": "array"},
+                    },
+                },
+            },
+        },
+    }
+    jsonschema.validate(doc, schema)
+
+
+def test_sarif_marks_baselined_findings_as_suppressed(tmp_path):
+    from repro.lint.engine import run_lint as _run
+    from repro.lint.reporters import render_sarif
+
+    target = FIXTURES / "api_bad.py"
+    report = _run([target])
+    baseline = Baseline(report.findings)
+    doc = json.loads(render_sarif(_run([target], baseline=baseline)))
+    results = doc["runs"][0]["results"]
+    assert results and all(
+        result["suppressions"] == [{"kind": "external"}] for result in results
+    )
 
 
 def test_cli_write_baseline_then_gate_passes(tmp_path, capsys):
