@@ -22,6 +22,7 @@ from repro.fs.store import MetadataStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mds.cluster import Cluster
+    from repro.sim import TraceLog
 
 
 @dataclass(frozen=True)
@@ -87,7 +88,7 @@ def committed_plans_in_commit_order(
     return ordered
 
 
-def precedence_graph(trace) -> "list[tuple[object, object]]":
+def precedence_graph(trace: "TraceLog") -> "list[tuple[object, object]]":
     """Conflict-precedence edges from the lock-grant trace.
 
     For every lockable object, transactions touch it in grant order;
@@ -112,7 +113,7 @@ def precedence_graph(trace) -> "list[tuple[object, object]]":
     return edges
 
 
-def assert_conflict_serializable(trace) -> None:
+def assert_conflict_serializable(trace: "TraceLog") -> None:
     """Raise AssertionError with the cycle if the precedence graph has
     one."""
     from repro.locks import find_deadlock_cycle
@@ -128,8 +129,24 @@ def verify_serial_equivalence(
 ) -> list[SerializabilityViolation]:
     """Diff the cluster's durable state against the serial replay."""
     ordered = committed_plans_in_commit_order(cluster, plans_by_key)
+    return diff_against_serial(cluster, ordered, bootstrap_dirs)
+
+
+def diff_against_serial(
+    cluster: "Cluster",
+    ordered_plans: Iterable[OpPlan],
+    bootstrap_dirs: Mapping[str, str],
+) -> list[SerializabilityViolation]:
+    """Diff the cluster's durable state against a serial replay of
+    ``ordered_plans`` (an explicit serialisation order).
+
+    The campaign checker calls this directly so it can extend the
+    reply-order history with recovery-committed transactions — commits
+    driven home by log probing after a crash, which produce durable
+    effects but never reach the client as an outcome record.
+    """
     try:
-        replayed = replay_serial(ordered, bootstrap_dirs)
+        replayed = replay_serial(ordered_plans, bootstrap_dirs)
     except UpdateError as exc:
         return [
             SerializabilityViolation(

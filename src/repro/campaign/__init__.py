@@ -1,0 +1,45 @@
+"""Adversarial fault-campaign harness.
+
+The conformance suite probes each protocol at hand-picked crash
+points; this package turns :mod:`repro.faults` +
+:mod:`repro.analysis.serializability` into a *search* harness:
+
+* :mod:`repro.campaign.triggers` -- serialisable trace-predicate
+  triggers aimed at protocol-critical windows (at-vote, after-vote,
+  between fence and remote log read, during recovery, on WAL flush).
+* :mod:`repro.campaign.schedule` -- :class:`CampaignSchedule`, a
+  seeded, canonical-JSON description of one run (workload shape +
+  fault specs), and :func:`generate_schedule`, the randomized
+  generator.
+* :mod:`repro.campaign.runner` -- executes one schedule on a live
+  cluster and checks the result (namespace invariants, per-transaction
+  atomicity, durability of acknowledged commits, serial equivalence,
+  conflict cycles) into a structured verdict.  Plugs into the cached
+  ``repro.exec`` executor as the ``campaign`` RunSpec kind.
+* :mod:`repro.campaign.shrink` -- a delta-debugging shrinker that
+  reduces a violating schedule to a minimal repro (drop faults,
+  shrink workload, tighten triggers) and emits a self-contained,
+  replayable JSON repro document.
+* :mod:`repro.campaign.cli` -- the ``repro campaign`` subcommand
+  (``run`` / ``shrink`` / ``replay``).
+"""
+
+from repro.campaign.schedule import (
+    CampaignSchedule,
+    FaultSpec,
+    generate_schedule,
+)
+from repro.campaign.runner import run_campaign_spec
+from repro.campaign.shrink import replay_repro, shrink_schedule
+from repro.campaign.triggers import TraceTrigger, window
+
+__all__ = [
+    "CampaignSchedule",
+    "FaultSpec",
+    "TraceTrigger",
+    "generate_schedule",
+    "replay_repro",
+    "run_campaign_spec",
+    "shrink_schedule",
+    "window",
+]

@@ -12,6 +12,7 @@
     python -m repro batching --n 96
     python -m repro perf --json BENCH_perf.json
     python -m repro cache stats
+    python -m repro campaign run --runs 10 --seed 0
     python -m repro protocols --json
 
 Protocol choices everywhere come from the plug-in registry
@@ -271,6 +272,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.cache import cli as cache_cli
 
     return cache_cli.run(args)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import cli as campaign_cli
+
+    return campaign_cli.run(args)
 
 
 def _cmd_protocols(args: argparse.Namespace) -> int:
@@ -543,6 +550,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache_cli.add_arguments(p)
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "campaign",
+        help="randomized fault/contention campaigns with shrinking and replay",
+    )
+    from repro.campaign import cli as campaign_cli
+
+    campaign_cli.add_arguments(p)
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
         "protocols",

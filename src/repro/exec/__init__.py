@@ -23,6 +23,7 @@ from repro.exec.executor import (
 from repro.exec.grids import (
     abort_rate_grid,
     burst_size_grid,
+    campaign_grid,
     disk_bandwidth_grid,
     fanout_grid,
     figure6_grid,
@@ -47,6 +48,7 @@ __all__ = [
     "SweepResults",
     "abort_rate_grid",
     "burst_size_grid",
+    "campaign_grid",
     "cell_key",
     "derive_seed",
     "disk_bandwidth_grid",

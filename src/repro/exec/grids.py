@@ -157,6 +157,52 @@ def fanout_grid(
     ]
 
 
+def campaign_grid(
+    protocol: str,
+    runs: int = 25,
+    seed: int = 0,
+    n_faults: int = 3,
+    n_ops: int = 6,
+    n_clients: int = 2,
+    params: Optional[SimulationParams] = None,
+    nodes: Sequence[str] = ("mds1", "mds2"),
+) -> list[RunSpec]:
+    """``runs`` seeded adversarial fault-campaign cells for one protocol.
+
+    Each cell carries its own generated :class:`CampaignSchedule`
+    (canonical JSON in ``spec.campaign``), so the schedule is part of
+    the cell's identity and cached campaign runs replay warm.  The
+    per-run schedule seed mixes the base seed with the run index
+    through distinct named RNG streams, so runs are independent but
+    byte-reproducible.
+    """
+    # Imported lazily: the campaign package sits above repro.exec.
+    from repro.campaign.schedule import generate_schedule
+
+    specs = []
+    for i in range(runs):
+        schedule = generate_schedule(
+            protocol,
+            seed=seed * 1_000_003 + i,
+            nodes=nodes,
+            n_faults=n_faults,
+            n_ops=n_ops,
+            n_clients=n_clients,
+        )
+        specs.append(
+            RunSpec(
+                kind="campaign",
+                protocol=protocol,
+                n=n_ops,
+                seed=seed,
+                point=i,
+                params=params,
+                campaign=schedule.to_json(),
+            )
+        )
+    return specs
+
+
 def scaling_grid(
     protocol: str,
     pair_counts: Sequence[int] = (1, 2, 4),

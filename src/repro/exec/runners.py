@@ -198,7 +198,20 @@ def _run_fanout_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
     )
 
 
+def _run_campaign_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
+    """Adversarial fault-campaign cell (see :mod:`repro.campaign`).
+
+    Registered here — not in the campaign package — because pool
+    workers import only this module; a registration living in
+    ``repro.campaign`` would be invisible to them.
+    """
+    from repro.campaign.runner import run_campaign_spec
+
+    return run_campaign_spec(spec, keep_cluster)
+
+
 register_runner("burst", _run_burst_spec)
 register_runner("abort_burst", _run_abort_burst_spec)
 register_runner("scaling", _run_scaling_spec)
 register_runner("fanout", _run_fanout_spec)
+register_runner("campaign", _run_campaign_spec)

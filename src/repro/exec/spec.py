@@ -64,6 +64,10 @@ class RunSpec:
     #: Worker shards in the sharded namespace (fanout kind); defaults
     #: to ``fanout`` when unset.
     n_shards: Optional[int] = None
+    #: Canonical-JSON campaign schedule (campaign kind); ``None``
+    #: elsewhere.  Stored as the canonical string (not a dict) so the
+    #: spec stays hashable and the identity is byte-stable.
+    campaign: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -85,6 +89,8 @@ class RunSpec:
                 )
         if self.kind == "fanout" and self.fanout is None:
             raise ValueError("fanout kind requires the fanout field")
+        if self.kind == "campaign" and self.campaign is None:
+            raise ValueError("campaign kind requires the campaign field")
 
     @property
     def effective_params(self) -> SimulationParams:
@@ -120,6 +126,8 @@ class RunSpec:
             doc["fanout"] = self.fanout
         if self.n_shards is not None:
             doc["n_shards"] = self.n_shards
+        if self.campaign is not None:
+            doc["campaign"] = self.campaign
         return doc
 
     @staticmethod
@@ -143,6 +151,7 @@ class RunSpec:
             trace=bool(doc.get("trace", False)),
             fanout=doc.get("fanout"),
             n_shards=doc.get("n_shards"),
+            campaign=doc.get("campaign"),
         )
 
     def identity(self) -> str:
@@ -160,6 +169,8 @@ class RunSpec:
             bits.append(f"k={self.fanout}")
             if self.n_shards is not None:
                 bits.append(f"shards={self.n_shards}")
+        if self.kind == "campaign":
+            bits.append(f"seed={self.seed}")
         if self.point is not None:
             bits.append(f"point={self.point}")
         return " ".join(bits)
@@ -196,6 +207,9 @@ class CellResult:
     lazy_writes: int = 0
     #: Metrics-registry snapshot of the run (trace-enabled runs only).
     metrics: Optional[dict[str, Any]] = None
+    #: Structured campaign verdict (campaign kind only): the atomicity /
+    #: serial-equivalence check results for the run.
+    verdict: Optional[dict[str, Any]] = None
     payload: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
@@ -226,6 +240,9 @@ class CellResult:
         # otherwise leaves the committed baseline documents unchanged.
         if self.metrics is not None:
             doc["metrics"] = self.metrics
+        # Same key-presence discipline for campaign verdicts.
+        if self.verdict is not None:
+            doc["verdict"] = self.verdict
         return doc
 
     @staticmethod
@@ -263,4 +280,5 @@ class CellResult:
             forced_writes=doc["forced_writes"],
             lazy_writes=doc["lazy_writes"],
             metrics=doc.get("metrics"),
+            verdict=doc.get("verdict"),
         )

@@ -17,6 +17,7 @@ Declarative fault schedules executed against a running cluster:
 
 from repro.faults.injector import (
     CrashFault,
+    DiskStallFault,
     FaultPlan,
     LinkFault,
     PartitionFault,
@@ -26,6 +27,7 @@ from repro.faults.scenarios import SCENARIOS, random_fault_plan, scenario
 
 __all__ = [
     "CrashFault",
+    "DiskStallFault",
     "FaultPlan",
     "LinkFault",
     "PartitionFault",

@@ -15,7 +15,7 @@ make crash-point tests readable::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mds.cluster import Cluster
@@ -118,6 +118,35 @@ class LinkFault(Fault):
 
 
 @dataclass
+class DiskStallFault(Fault):
+    """Stall a node's log device for ``duration`` seconds.
+
+    Occupies one service slot of the disk serving ``node`` (the node's
+    private log device, or the shared log manager when the cluster runs
+    the shared-log architecture), so queued WAL flushes and remote log
+    reads wait the stall out — the classic slow-disk hazard for the 1PC
+    fence-then-read recovery path.
+    """
+
+    node: str = ""
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ValueError("DiskStallFault requires a node")
+        if self.duration <= 0:
+            raise ValueError(f"DiskStallFault requires a positive duration, got {self.duration}")
+
+    def apply(self, cluster: "Cluster") -> None:
+        disk = cluster.storage.disk_of(self.node)
+        cluster.sim.process(
+            disk.stall(self.duration, actor=f"stall:{self.node}"),
+            name=f"disk-stall:{self.node}",
+        )
+
+
+@dataclass
 class VoteRefusalFault(Fault):
     """Make a server refuse its next worker-side vote."""
 
@@ -133,20 +162,49 @@ class VoteRefusalFault(Fault):
 
 
 class FaultPlan:
-    """An ordered schedule of faults bound to a cluster."""
+    """An ordered schedule of faults bound to a cluster.
 
-    def __init__(self, faults: Iterable[Fault]):
+    ``poll_interval`` sets how often trace-triggered faults are
+    re-evaluated; ``watch_until`` (absolute virtual time) bounds the
+    watcher — past it, still-untriggered faults are abandoned instead
+    of polling to the end of the run.  Campaign schedules use both to
+    keep runs with never-satisfied window triggers cheap.
+    """
+
+    def __init__(
+        self,
+        faults: Iterable[Fault],
+        poll_interval: float = POLL_INTERVAL,
+        watch_until: Optional[float] = None,
+    ):
         self.faults = list(faults)
+        self.poll_interval = poll_interval
+        self.watch_until = watch_until
         self.installed = False
 
     def install(self, cluster: "Cluster") -> None:
-        """Arm every fault on ``cluster``."""
+        """Arm every fault on ``cluster``.
+
+        Rejects faults whose ``at=`` already lies in the past — the
+        kernel would otherwise refuse the stale ``call_at`` with an
+        error that never names the fault (or, for a plan built against
+        the wrong clock, fire it at the wrong point).
+        """
         if self.installed:
             raise RuntimeError("fault plan already installed")
+        now = cluster.sim.now
+        stale = [f for f in self.faults if f.at is not None and f.at < now]
+        if stale:
+            listing = ", ".join(f.describe() for f in stale)
+            raise ValueError(
+                f"fault plan schedules {len(stale)} fault(s) in the past "
+                f"(sim time is already {now:g}): {listing}"
+            )
         self.installed = True
         timed = [f for f in self.faults if f.at is not None]
         watched = [f for f in self.faults if f.when is not None]
         for fault in timed:
+            assert fault.at is not None
             cluster.sim.call_at(fault.at, self._firer(cluster, fault))
         if watched:
             cluster.sim.process(self._watch(cluster, watched), name="fault-watcher")
@@ -161,11 +219,14 @@ class FaultPlan:
 
         return fire
 
-    def _watch(self, cluster: "Cluster", watched: list[Fault]):
+    def _watch(self, cluster: "Cluster", watched: list[Fault]) -> Iterator[Any]:
         pending = list(watched)
         while pending:
-            yield cluster.sim.timeout(POLL_INTERVAL)
+            if self.watch_until is not None and cluster.sim.now >= self.watch_until:
+                return
+            yield cluster.sim.timeout(self.poll_interval)
             for fault in list(pending):
+                assert fault.when is not None
                 if fault.when(cluster.trace):
                     fault.fired = True
                     cluster.trace.emit("fault", "injector", fault=fault.describe())

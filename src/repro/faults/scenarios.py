@@ -11,6 +11,7 @@ from typing import Callable
 
 from repro.faults.injector import (
     CrashFault,
+    Fault,
     FaultPlan,
     LinkFault,
     PartitionFault,
@@ -113,10 +114,23 @@ def random_fault_plan(
 
     Fault times are uniform over ``[horizon/10, horizon]`` so the
     workload gets started before chaos begins.
+
+    Single-node lists only draw from the kinds that make sense there:
+    a link fault needs two distinct endpoints and partitioning the only
+    node would just stall the whole cluster until the heal.
     """
+    if not nodes:
+        raise ValueError("random_fault_plan requires at least one node")
+    if not allow_coordinator_crash and len(nodes) < 2:
+        raise ValueError(
+            "allow_coordinator_crash=False leaves no crash victims "
+            f"in a {len(nodes)}-node cluster"
+        )
     rng = RngRegistry(seed)
-    faults = []
+    faults: list[Fault] = []
     kinds = ["crash", "partition", "link", "refuse"]
+    if len(nodes) < 2:
+        kinds = ["crash", "refuse"]
     for i in range(n_faults):
         kind = rng.choice(f"kind{i}", kinds)
         at = rng.uniform(f"time{i}", horizon / 10.0, horizon)

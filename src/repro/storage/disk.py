@@ -63,6 +63,28 @@ class Disk:
                 service=self.sim.now - start,
             )
 
+    def stall(self, duration: float, actor: str = "fault") -> Generator:
+        """Generator: hold one service slot for ``duration`` seconds.
+
+        Models a device hiccup (firmware GC pause, path failover): the
+        stalling request queues FIFO like any other, then keeps the slot
+        busy without transferring data, so every later request — WAL
+        flushes, remote log reads — waits the stall out behind it.
+        """
+        if duration <= 0:
+            raise ValueError(f"non-positive stall duration {duration}")
+        with self._device.request() as req:
+            yield req
+            start = self.sim.now
+            yield self.sim.timeout(duration)
+            self.trace.emit(
+                "disk_stall",
+                actor,
+                device=self.name,
+                duration=duration,
+                granted=start,
+            )
+
     def read(self, nbytes: float, actor: str = "?") -> Generator:
         """Generator: occupy the device for the read's service time."""
         if nbytes < 0:

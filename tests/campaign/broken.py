@@ -1,0 +1,91 @@
+"""A deliberately broken 1PC variant for the campaign mutation self-test.
+
+``1PC-BRK`` sends the worker's UPDATED message *before* forcing the
+UPDATES+COMMITTED record — exactly the §III invariant the real
+protocol's design hinges on (the forced commit *is* the vote).  With
+an early vote, a worker crash inside the vote-to-force window leaves
+the coordinator committed and the client acknowledged while the
+worker's half of the transaction evaporates: a torn, non-atomic
+namespace operation the campaign checker must flag.
+
+Correct protocols only send UPDATED after the commit record is
+durable, so the same crash window aborts or re-drives the transaction
+instead — the mutation is invisible to them and the campaign stays
+green.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.one_phase import OnePhaseCommitProtocol
+from repro.net.message import Message
+from repro.protocols.base import MsgKind, ProtocolSpec, TransactionAborted
+from repro.protocols.registry import CAP_SHARED_LOG
+from repro.storage.fencing import FencedError
+from repro.storage.records import RecordKind
+from repro.storage.wal import LogLostError
+
+BROKEN_NAME = "1PC-BRK"
+
+
+class EarlyVoteOnePhaseCommit(OnePhaseCommitProtocol):
+    """1PC with the worker's vote moved ahead of its forced commit."""
+
+    name = BROKEN_NAME
+
+    def worker_session(self, first: Message, inbox) -> Generator:
+        txn_id, coordinator = first.txn_id, first.src
+        try:
+            if first.kind != MsgKind.UPDATE_REQ or not first.payload.get("commit"):
+                self.send(coordinator, MsgKind.NOT_PREPARED, txn_id)
+                return None
+            if self.wal.has(RecordKind.COMMITTED, txn_id) or self.store.has_applied(txn_id):
+                self.send(coordinator, MsgKind.UPDATED, txn_id, ok=True)
+                yield from self._await_ack_and_finalize(txn_id, coordinator, inbox)
+                return None
+
+            updates = self.decode_updates(first.payload)
+            try:
+                if self.server.fail_next_vote and not first.payload.get("decided"):
+                    self.server.fail_next_vote = False
+                    raise TransactionAborted("injected vote failure")
+                yield from self.lock_all(txn_id, self._lock_targets(updates))
+                yield from self.apply_updates(txn_id, updates)
+                # BUG: vote first, force afterwards.  A crash between
+                # the send and the force leaves a committed
+                # coordinator pointing at a worker with no durable
+                # commit record to recover from.
+                self.send(coordinator, MsgKind.UPDATED, txn_id, ok=True)
+                updates_rec = self.updates_rec(txn_id, self.store.updates_of(txn_id))
+                yield from self.wal.force(
+                    updates_rec,
+                    self.state_rec(RecordKind.COMMITTED, txn_id, coordinator=coordinator),
+                )
+            except TransactionAborted as aborted:
+                self.store.abort(txn_id)
+                self.locks.release_all(txn_id)
+                self.send(coordinator, MsgKind.NOT_PREPARED, txn_id, reason=aborted.reason)
+                return None
+            except (FencedError, LogLostError):
+                self.store.abort(txn_id)
+                self.locks.release_all(txn_id)
+                self.obs.annotate("worker_fenced_mid_commit", self.me, txn=txn_id)
+                return None
+            self.store.commit_durable(txn_id)
+            self.locks.release_all(txn_id)
+            yield from self._await_ack_and_finalize(txn_id, coordinator, inbox)
+            return None
+        finally:
+            self.server.close_session(txn_id)
+
+
+def broken_spec() -> ProtocolSpec:
+    """A registrable spec for the broken engine."""
+    return ProtocolSpec(
+        name=BROKEN_NAME,
+        engine=EarlyVoteOnePhaseCommit,
+        summary="1PC mutated to vote before forcing its commit (test only)",
+        log_records=("STARTED", "REDO", "UPDATES", "COMMITTED", "ABORTED", "ENDED"),
+        capabilities=frozenset({CAP_SHARED_LOG}),
+    )

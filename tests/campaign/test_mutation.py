@@ -1,0 +1,56 @@
+"""Mutation self-test: the campaign must catch a broken protocol.
+
+``1PC-BRK`` votes before forcing its commit record (see
+:mod:`tests.campaign.broken`).  A seeded campaign block must flag it,
+the shrinker must reduce the catch to a tiny schedule, and the emitted
+repro document must replay to the same violation.  The same block on
+the real 1PC stays green — the checker has no false positives.
+
+Everything here runs in-process (``execute_spec``): ``temporary_protocol``
+registrations don't cross process-pool boundaries.
+"""
+
+import pytest
+
+from repro.campaign.schedule import CampaignSchedule
+from repro.campaign.shrink import shrink_spec, violation_kinds
+from repro.exec import campaign_grid
+from repro.exec.runners import execute_spec
+from repro.protocols.registry import temporary_protocol
+from tests.campaign.broken import BROKEN_NAME, broken_spec
+
+#: The block the self-test sweeps; run 11 is the first catch.
+RUNS, SEED = 12, 0
+
+
+@pytest.mark.slow
+def test_campaign_catches_and_shrinks_early_vote_mutation():
+    with temporary_protocol(broken_spec()):
+        caught = None
+        for spec in campaign_grid(BROKEN_NAME, runs=RUNS, seed=SEED):
+            kinds = violation_kinds(execute_spec(spec))
+            if kinds:
+                caught = (spec, kinds)
+                break
+        assert caught is not None, "campaign missed the broken protocol"
+        spec, kinds = caught
+        assert "atomicity" in kinds
+
+        doc = shrink_spec(spec)
+        shrunk = CampaignSchedule.from_json(doc["spec"]["campaign"])
+        # Minimal repro: at most two faults (one crash in the
+        # vote-to-force window suffices in practice).
+        assert len(shrunk.faults) <= 2
+        assert doc["verdict"]["violations"]
+
+        # The document replays to the same violation kind.
+        from repro.campaign.shrink import replay_repro
+
+        _cell, reproduced = replay_repro(doc)
+        assert reproduced
+
+
+@pytest.mark.slow
+def test_same_block_is_green_on_real_1pc():
+    for spec in campaign_grid("1PC", runs=RUNS, seed=SEED):
+        assert violation_kinds(execute_spec(spec)) == set(), spec.point

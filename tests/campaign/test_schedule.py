@@ -1,0 +1,90 @@
+"""Schedule generation: determinism, serialisation, validation."""
+
+import pytest
+
+from repro.campaign.schedule import (
+    WINDOW_KINDS,
+    CampaignSchedule,
+    FaultSpec,
+    generate_schedule,
+)
+from repro.campaign.triggers import window
+from repro.faults.injector import FaultPlan
+
+
+def test_same_seed_same_schedule():
+    a = generate_schedule("1PC", seed=42)
+    b = generate_schedule("1PC", seed=42)
+    assert a == b
+    assert a.to_json() == b.to_json()
+    assert a.describe() == b.describe()
+
+
+def test_different_seeds_diverge():
+    jsons = {generate_schedule("1PC", seed=s).to_json() for s in range(10)}
+    assert len(jsons) > 1
+
+
+def test_roundtrip_is_exact():
+    for seed in range(10):
+        sched = generate_schedule("EP", seed=seed, n_faults=4)
+        assert CampaignSchedule.from_json(sched.to_json()) == sched
+
+
+def test_generated_plans_install():
+    plan = generate_schedule("1PC", seed=3, n_faults=5).build_plan()
+    assert isinstance(plan, FaultPlan)
+    assert len(plan.faults) == 5
+
+
+def test_single_node_menu_drops_partition_and_link():
+    for seed in range(30):
+        sched = generate_schedule("1PC", seed=seed, nodes=("mds1",), n_faults=4)
+        for spec in sched.faults:
+            assert spec.kind not in ("partition", "link"), spec
+
+
+def test_window_kinds_produce_triggers():
+    hit = False
+    for seed in range(30):
+        for spec in generate_schedule("1PC", seed=seed, n_faults=4).faults:
+            assert (spec.at is None) != (spec.trigger is None)
+            if spec.trigger is not None:
+                hit = True
+    assert hit, "no window-targeted fault drawn in 30 seeds"
+
+
+def test_empty_nodes_rejected():
+    with pytest.raises(ValueError):
+        generate_schedule("1PC", seed=0, nodes=())
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="meteor", node="mds1", at=0.01)
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultSpec(kind="crash", node="mds1")
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultSpec(kind="crash", node="mds1", at=0.01, trigger=window("at-vote", "mds1"))
+    with pytest.raises(ValueError, match="requires a node"):
+        FaultSpec(kind="crash", at=0.01)
+    with pytest.raises(ValueError, match="requires a peer"):
+        FaultSpec(kind="link", node="mds1", at=0.01)
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        CampaignSchedule(protocol="", seed=0)
+    with pytest.raises(ValueError):
+        CampaignSchedule(protocol="1PC", seed=0, n_ops=0)
+    with pytest.raises(ValueError):
+        CampaignSchedule(protocol="1PC", seed=0, hot_ratio=1.5)
+
+
+def test_every_window_kind_builds():
+    for entry in WINDOW_KINDS:
+        kind, window_name = entry.split("@", 1)
+        spec = FaultSpec(kind=kind, node="mds2", trigger=window(window_name, "mds2"))
+        fault = spec.build()
+        assert fault.when is not None
+        assert spec.describe().startswith(f"{kind}(mds2")

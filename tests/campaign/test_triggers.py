@@ -1,0 +1,81 @@
+"""Unit tests for trace-window triggers."""
+
+import pytest
+
+from repro.campaign.triggers import WINDOWS, TraceTrigger, window
+from repro.sim import Simulator, TraceLog
+
+
+def fresh_trace():
+    return TraceLog(Simulator())
+
+
+def emit(trace, category, actor, **detail):
+    trace.emit(category, actor, **detail)
+
+
+def test_trigger_matches_category_actor_and_detail():
+    trig = TraceTrigger(category="msg_send", actor="mds2", where=(("kind", "UPDATED"),))
+    trace = fresh_trace()
+    emit(trace, "msg_send", "mds1", kind="UPDATED")
+    emit(trace, "msg_send", "mds2", kind="UPDATE_REQ")
+    assert not any(trig.matches(r) for r in trace.records)
+    emit(trace, "msg_send", "mds2", kind="UPDATED")
+    assert any(trig.matches(r) for r in trace.records)
+
+
+def test_compiled_predicate_is_incremental_and_counts():
+    trig = TraceTrigger(category="fence", min_count=2)
+    pred = trig.compile()
+    trace = fresh_trace()
+    assert pred(trace) is False
+    emit(trace, "fence", "mds1")
+    assert pred(trace) is False  # one hit < min_count
+    emit(trace, "fence", "mds1")
+    assert pred(trace) is True
+    # Hits are cumulative: the predicate stays satisfied.
+    assert pred(trace) is True
+
+
+def test_compiled_predicates_do_not_share_state():
+    trig = TraceTrigger(category="fence")
+    a, b = trig.compile(), trig.compile()
+    trace = fresh_trace()
+    emit(trace, "fence", "mds1")
+    assert a(trace) is True
+    fresh = fresh_trace()
+    assert b(fresh) is False
+
+
+def test_roundtrip_preserves_trigger():
+    trig = TraceTrigger(
+        category="log_append", actor="mds2", where=(("sync", True),), min_count=3
+    )
+    again = TraceTrigger.from_dict(trig.to_dict())
+    assert again == trig
+
+
+def test_where_keys_sorted_for_stable_identity():
+    a = TraceTrigger(category="x", where=(("b", 1), ("a", 2)))
+    b = TraceTrigger(category="x", where=(("a", 2), ("b", 1)))
+    assert a == b
+    assert a.to_dict() == b.to_dict()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TraceTrigger(category="")
+    with pytest.raises(ValueError):
+        TraceTrigger(category="fence", min_count=0)
+
+
+@pytest.mark.parametrize("name", sorted(WINDOWS))
+def test_protocol_windows_construct(name):
+    trig = window(name, "mds2")
+    assert isinstance(trig, TraceTrigger)
+    assert trig.category
+
+
+def test_unknown_window_rejected():
+    with pytest.raises(KeyError):
+        window("at-teatime", "mds2")

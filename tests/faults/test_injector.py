@@ -4,6 +4,7 @@ import pytest
 
 from repro.faults import (
     CrashFault,
+    DiskStallFault,
     FaultPlan,
     LinkFault,
     PartitionFault,
@@ -110,6 +111,45 @@ def test_vote_refusal_fault_aborts_next_txn():
     assert result["committed"] is False
     drain(cluster)
     assert cluster.check_invariants() == []
+
+
+def test_disk_stall_fault_requires_node_and_duration():
+    with pytest.raises(ValueError):
+        DiskStallFault(at=1.0)
+    with pytest.raises(ValueError):
+        DiskStallFault(node="mds2", duration=0.0, at=1.0)
+
+
+def test_disk_stall_fault_delays_wal_traffic():
+    cluster, client = make_cluster("1PC")
+    FaultPlan([DiskStallFault(node="mds2", duration=2.0, at=1e-3)]).install(cluster)
+    client.submit(client.plan_create("/dir1/f0"))
+    cluster.sim.run(until=cluster.sim.now + 300.0)
+    stalls = cluster.trace.select("disk_stall")
+    assert len(stalls) == 1
+    assert stalls[0].get("duration") == 2.0
+    assert cluster.check_invariants() == []
+
+
+def test_past_at_rejected_at_install():
+    cluster, _client = make_cluster("1PC")
+    cluster.sim.run(until=1.0)
+    plan = FaultPlan([CrashFault(node="mds2", at=0.5)])
+    with pytest.raises(ValueError) as excinfo:
+        plan.install(cluster)
+    # The error names the stale fault and the current clock.
+    assert "CrashFault(at=0.5)" in str(excinfo.value)
+    assert "sim time is already 1" in str(excinfo.value)
+    assert not plan.installed
+
+
+def test_at_equal_to_now_still_allowed():
+    # The vote-refusal scenario arms at t=0 on a fresh cluster; an
+    # at==now fault must keep installing fine.
+    cluster, client = make_cluster("1PC")
+    FaultPlan([VoteRefusalFault(node="mds2", at=0.0)]).install(cluster)
+    result = run_create(cluster, client)
+    assert result["committed"] is False
 
 
 def test_double_install_rejected():

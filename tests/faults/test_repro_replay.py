@@ -1,0 +1,38 @@
+"""Replay the committed golden minimal repro.
+
+``golden_minimal_repro.json`` was produced by the campaign shrinker
+from the early-vote mutation (``tests.campaign.broken``): one crash in
+the worker's vote-to-force window, one operation, one client.  Keeping
+it in the tree pins two things: the repro document format stays
+loadable, and the shrunk schedule still tears the transaction on the
+broken engine.
+"""
+
+import pathlib
+
+from repro.campaign.schedule import CampaignSchedule
+from repro.campaign.shrink import load_repro, replay_repro, violation_kinds
+from repro.protocols.registry import temporary_protocol
+from tests.campaign.broken import broken_spec
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_minimal_repro.json"
+
+
+def test_golden_repro_is_minimal():
+    doc = load_repro(str(GOLDEN))
+    schedule = CampaignSchedule.from_json(doc["spec"]["campaign"])
+    assert len(schedule.faults) == 1
+    assert schedule.n_ops == 1
+    assert schedule.n_clients == 1
+    (fault,) = schedule.faults
+    assert fault.kind == "crash"
+    assert fault.trigger is not None
+    assert fault.trigger.category == "msg_send"
+
+
+def test_golden_repro_replays():
+    doc = load_repro(str(GOLDEN))
+    with temporary_protocol(broken_spec()):
+        cell, reproduced = replay_repro(doc)
+    assert reproduced
+    assert "atomicity" in violation_kinds(cell)
