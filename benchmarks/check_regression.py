@@ -10,11 +10,17 @@ Throughput here is *simulated* transactions per second — a
 deterministic function of the code, not of CI host speed — so the gate
 is exact: a trip means the protocol physics or the harness changed.
 
+``--perf BENCH_perf.json`` additionally prints the perf document's
+peak-RSS block and, when the ``million-txn`` workload is present, its
+base-vs-full watermark ratio — purely informational (RSS depends on
+the host allocator, so it reports rather than gates).
+
 Usage::
 
     python benchmarks/check_regression.py \
         --baseline benchmarks/baselines/smoke.json \
-        --current BENCH_smoke.json [--threshold 0.20]
+        --current BENCH_smoke.json [--threshold 0.20] \
+        [--perf BENCH_perf.json]
 """
 
 from __future__ import annotations
@@ -79,12 +85,38 @@ def compare(baseline_path: str, current_path: str, threshold: float = 0.20) -> l
     return problems
 
 
+def report_rss(perf_path: str) -> list[str]:
+    """Informational peak-RSS lines from a perf document (never gates)."""
+    with open(perf_path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    lines: list[str] = []
+    rss = doc.get("peak_rss_kb") or {}
+    if rss.get("self"):
+        lines.append(
+            f"peak RSS: {rss['self'] / 1024:.0f} MiB self, "
+            f"{rss.get('children', 0) / 1024:.0f} MiB children"
+        )
+    for workload in doc.get("workloads", []):
+        if workload.get("name") != "million-txn":
+            continue
+        detail = workload.get("detail", {})
+        lines.append(
+            f"million-txn: {workload.get('txns', 0):,} committed, "
+            f"rss {detail.get('rss_base_kb', 0) / 1024:.0f} -> "
+            f"{detail.get('rss_full_kb', 0) / 1024:.0f} MiB over a 10x "
+            f"op-count step (ratio {detail.get('rss_ratio', 0.0):.2f})"
+        )
+    return lines
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="committed baseline JSON")
     parser.add_argument("--current", required=True, help="freshly measured JSON")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="max tolerated fractional throughput drop (default 0.20)")
+    parser.add_argument("--perf", default=None, metavar="PATH",
+                        help="perf document to report peak RSS from (informational)")
     args = parser.parse_args(argv)
 
     problems = compare(args.baseline, args.current, threshold=args.threshold)
@@ -101,6 +133,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ratio = now["throughput"] / cell["throughput"] if cell["throughput"] else 1.0
             print(f"  {_label(cell)}: {cell['throughput']:.2f} -> "
                   f"{now['throughput']:.2f} tx/s ({ratio:.1%} of baseline)")
+    if args.perf:
+        for line in report_rss(args.perf):
+            print(f"  [info] {line}")
     if problems:
         print(f"\nFAIL — {len(problems)} problem(s):")
         for problem in problems:

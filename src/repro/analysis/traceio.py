@@ -16,13 +16,13 @@ from __future__ import annotations
 import io
 import json
 from pathlib import Path
-from typing import IO, Iterable, Union
+from typing import IO, Any, Iterable, Union
 
 from repro.sim import TraceLog
 from repro.sim.monitor import TraceRecord
 
 
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if isinstance(value, (list, tuple)):

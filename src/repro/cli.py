@@ -148,7 +148,36 @@ def _sweep_grid(args: argparse.Namespace):
             return f"k={value}"
 
         return specs, label, "Fan-out — files/s vs workers per transaction"
+    if args.kind == "composite":
+        # --n is the total operation count per cell here (the mdtest
+        # scale knob), split over --groups independent shard groups.
+        specs = rexec.composite_grid(
+            ops_counts=[args.n], groups=args.groups, seed=args.seed
+        )
+
+        def label(value):
+            return f"{value} ops"
+
+        return specs, label, "Composite workload — committed tx/s"
     raise ValueError(f"unknown sweep kind {args.kind!r}")
+
+
+def _run_partitioned_sweep(specs, workers: int):
+    """Execute composite specs shard-partitioned (one kernel per group)."""
+    import time
+
+    from repro.exec import SweepResults, git_revision, run_partitioned_spec
+
+    started = time.monotonic()  # repro: noqa DET001 - wall-clock provenance
+    cells = [run_partitioned_spec(spec, workers=workers) for spec in specs]
+    return SweepResults(
+        kind="composite",
+        cells=cells,
+        workers=workers,
+        wall_time_s=time.monotonic() - started,  # repro: noqa DET001 - wall-clock provenance
+        git_rev=git_revision(),
+        computed=len(cells),
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -165,19 +194,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(event, file=_sys.stderr)
 
     cache = None
-    if args.cache or args.refresh:
-        from repro.cache import ResultCache
+    if args.partition:
+        if args.kind != "composite":
+            print("--partition requires --kind composite", file=_sys.stderr)
+            return 2
+        # Partitioned execution bypasses the result cache: the cells
+        # are byte-identical to the single-kernel runner's, so serving
+        # one mode's cache to the other would hide the very equivalence
+        # the mode exists to demonstrate.
+        sweep = _run_partitioned_sweep(specs, args.workers)
+    else:
+        if args.cache or args.refresh:
+            from repro.cache import ResultCache
 
-        cache = ResultCache()
+            cache = ResultCache()
 
-    sweep = run_sweep(
-        specs,
-        kind=args.kind,
-        workers=args.workers,
-        progress=progress,
-        cache=cache,
-        refresh=args.refresh,
-    )
+        sweep = run_sweep(
+            specs,
+            kind=args.kind,
+            workers=args.workers,
+            progress=progress,
+            cache=cache,
+            refresh=args.refresh,
+        )
     if cache is not None:
         print(
             f"cache: {sweep.cached} hit{'s' if sweep.cached != 1 else ''}, "
@@ -449,12 +488,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="parameter sweeps via the parallel executor")
     p.add_argument(
         "--kind",
-        choices=["latency", "disk", "burst", "abort", "figure6", "scaling", "fanout"],
+        choices=["latency", "disk", "burst", "abort", "figure6", "scaling",
+                 "fanout", "composite"],
         default="latency",
     )
-    p.add_argument("--n", type=int, default=40, help="burst size / ops per directory")
+    p.add_argument("--n", type=int, default=40,
+                   help="burst size / ops per directory / total composite ops")
     p.add_argument("--protocol", choices=protocol_names, default="1PC",
                    help="protocol for --kind scaling")
+    p.add_argument("--groups", type=_positive_int, default=2,
+                   help="independent shard groups for --kind composite")
+    p.add_argument("--partition", action="store_true",
+                   help="composite only: run one DES kernel per shard group "
+                   "across the --workers pool (byte-identical results)")
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="process-pool size (1 = serial; results are identical)")
     p.add_argument("--seed", type=int, default=0, help="base seed for the grid")

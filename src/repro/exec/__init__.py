@@ -24,12 +24,14 @@ from repro.exec.grids import (
     abort_rate_grid,
     burst_size_grid,
     campaign_grid,
+    composite_grid,
     disk_bandwidth_grid,
     fanout_grid,
     figure6_grid,
     network_latency_grid,
     scaling_grid,
 )
+from repro.exec.partition import run_partitioned_spec
 from repro.exec.results import (
     SweepResults,
     cell_key,
@@ -50,6 +52,7 @@ __all__ = [
     "burst_size_grid",
     "campaign_grid",
     "cell_key",
+    "composite_grid",
     "derive_seed",
     "disk_bandwidth_grid",
     "execute_spec",
@@ -61,6 +64,7 @@ __all__ = [
     "network_latency_grid",
     "register_runner",
     "run_grid",
+    "run_partitioned_spec",
     "run_sweep",
     "scaling_grid",
 ]

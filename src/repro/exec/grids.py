@@ -203,6 +203,44 @@ def campaign_grid(
     return specs
 
 
+def composite_grid(
+    ops_counts: Sequence[int] = (1000, 4000),
+    protocols: Optional[Sequence[str]] = None,
+    groups: int = 2,
+    params: Optional[SimulationParams] = None,
+    seed: int = 0,
+    window: int = 32,
+    working_set: int = 512,
+) -> list[RunSpec]:
+    """Composite mdtest-like workload cells along a total-operations axis.
+
+    Each cell carries its full workload shape as canonical JSON in
+    ``spec.composite`` (the campaign-schedule discipline), so the mix,
+    skew, phases and window are part of the cell identity and cached
+    cells replay warm.
+    """
+    # Imported lazily: the workloads package sits above repro.exec.
+    from repro.workloads.composite import CompositeConfig
+
+    if protocols is None:
+        protocols = default_protocols()
+    return [
+        RunSpec(
+            kind="composite",
+            protocol=proto,
+            n=ops,
+            seed=seed,
+            point=ops,
+            params=params,
+            composite=CompositeConfig(
+                ops=ops, groups=groups, window=window, working_set=working_set
+            ).to_json(),
+        )
+        for ops in ops_counts
+        for proto in protocols
+    ]
+
+
 def scaling_grid(
     protocol: str,
     pair_counts: Sequence[int] = (1, 2, 4),

@@ -26,11 +26,19 @@ The pinned workloads:
   disk.  Both wall clocks (and the speedup) land in ``detail``; the
   pass pair also asserts the warm canonical JSON is byte-identical to
   the cold one, so the benchmark doubles as an end-to-end cache check.
+* ``million-txn`` — the capstone scale run: a composite mdtest-like
+  workload committing over a million transactions through the
+  streaming-statistics path (see ``docs/performance.md``).  A small
+  base run precedes the full run and both record the process's
+  ``ru_maxrss`` high watermark; their ratio demonstrates peak memory
+  is O(1) in transaction count.  Excluded from the default set —
+  it runs minutes, not milliseconds — and always measured once.
 
 The JSON document (``BENCH_perf.json``) mirrors the sweep-results
 style: deterministic simulation facts (event counts, committed counts,
 virtual makespans) next to volatile host measurements, with provenance
-under ``meta``.
+under ``meta``.  Schema v3 adds the top-level ``peak_rss_kb`` block
+(``ru_maxrss`` of this process and its pool children, KiB on Linux).
 """
 
 from __future__ import annotations
@@ -43,10 +51,40 @@ from typing import Any, Callable, Generator, Iterator, Optional
 
 from repro.exec.results import git_revision
 
-PERF_SCHEMA_VERSION = 2
+PERF_SCHEMA_VERSION = 3
 
-#: The pinned workload names, in report order.
-WORKLOADS = ("kernel-churn", "figure6-cell", "torture-cell", "figure6-warm")
+#: The pinned workload names, in report order.  ``million-txn`` is
+#: opt-in via ``--workload million-txn`` (it runs for minutes).
+WORKLOADS = (
+    "kernel-churn",
+    "figure6-cell",
+    "torture-cell",
+    "figure6-warm",
+    "million-txn",
+)
+
+#: Workloads excluded from a bare ``repro perf`` (explicit opt-in only).
+DEFAULT_SKIP = frozenset({"million-txn"})
+
+#: Per-workload repeat caps: the scale run is single-shot regardless of
+#: ``--repeats`` (a second multi-minute pass buys no precision the
+#: best-of rule needs).
+_MAX_REPEATS = {"million-txn": 1}
+
+
+def peak_rss_kb() -> dict[str, int]:
+    """``ru_maxrss`` high watermarks, KiB (Linux): self + pool children.
+
+    Returns zeros on platforms without the ``resource`` module.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return {"self": 0, "children": 0}
+    return {
+        "self": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "children": int(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss),
+    }
 
 
 @dataclass(frozen=True)
@@ -100,6 +138,8 @@ class PerfResults:
     created_at: str = field(
         default_factory=lambda: datetime.now(timezone.utc).isoformat()  # repro: noqa DET001 - wall-clock provenance
     )
+    #: ``ru_maxrss`` watermarks at the end of the run (schema v3).
+    peak_rss: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -110,6 +150,7 @@ class PerfResults:
                 "created_at": self.created_at,
                 "wall_time_s": self.wall_time_s,
             },
+            "peak_rss_kb": self.peak_rss or peak_rss_kb(),
             "workloads": [w.to_dict() for w in self.workloads],
         }
 
@@ -270,11 +311,66 @@ def _run_figure6_warm(n: int = 100, protocols: tuple[str, ...] = ("PrN", "PrC", 
     return run
 
 
+def _run_million_txn(
+    ops: int = 1_300_000, groups: int = 8, protocol: str = "1PC"
+) -> Callable[[], WorkloadRun]:
+    """The capstone scale run: >1M committed transactions, O(1) memory.
+
+    Two composite runs back to back: a base run at one tenth the
+    operation count, then the full run.  Each records the process's
+    ``ru_maxrss`` watermark afterwards; because the watermark is
+    monotone, ``rss_ratio = full/base`` close to 1.0 is direct evidence
+    the streaming-statistics path holds peak memory flat while the
+    transaction count grows 10x.
+    """
+
+    def run() -> WorkloadRun:
+        from repro.workloads.composite import CompositeConfig, run_composite
+
+        def config(n: int) -> CompositeConfig:
+            return CompositeConfig(ops=n, groups=groups, window=16, working_set=256)
+
+        base = run_composite(protocol, config(ops // 10))
+        base_rss = peak_rss_kb()["self"]
+        full = run_composite(protocol, config(ops))
+        full_rss = peak_rss_kb()["self"]
+        if full.committed < 1_000_000:
+            raise RuntimeError(
+                f"million-txn committed only {full.committed:,} transactions "
+                f"(needs >= 1,000,000; raise ops from {ops:,})"
+            )
+        return WorkloadRun(
+            name="million-txn",
+            events=full.events,
+            txns=full.committed,
+            sim_time=full.makespan,
+            wall_s=0.0,
+            repeats=0,
+            detail={
+                "protocol": protocol,
+                "ops": ops,
+                "groups": groups,
+                "skipped": full.skipped,
+                "reads": full.reads,
+                "latency_mode": full.latency.mode,
+                "p99_ms": full.latency.quantile(99.0) * 1e3,
+                "base_ops": ops // 10,
+                "base_committed": base.committed,
+                "rss_base_kb": base_rss,
+                "rss_full_kb": full_rss,
+                "rss_ratio": full_rss / base_rss if base_rss else 0.0,
+            },
+        )
+
+    return run
+
+
 _FACTORIES: dict[str, Callable[[], Callable[[], WorkloadRun]]] = {
     "kernel-churn": _run_kernel_churn,
     "figure6-cell": _run_figure6_cell,
     "torture-cell": _run_torture_cell,
     "figure6-warm": _run_figure6_warm,
+    "million-txn": _run_million_txn,
 }
 
 
@@ -319,8 +415,16 @@ def run_perf(
     repeats: int = 3,
     progress: Optional[Callable[[str], None]] = None,
 ) -> PerfResults:
-    """Measure the pinned workloads; ``workloads=None`` runs them all."""
-    names = list(workloads) if workloads is not None else list(WORKLOADS)
+    """Measure the pinned workloads.
+
+    ``workloads=None`` runs the default set — every pinned workload
+    except the multi-minute ``million-txn`` scale run, which must be
+    named explicitly.
+    """
+    if workloads is not None:
+        names = list(workloads)
+    else:
+        names = [n for n in WORKLOADS if n not in DEFAULT_SKIP]
     unknown = [n for n in names if n not in _FACTORIES]
     if unknown:
         raise ValueError(f"unknown perf workload(s) {unknown!r}; choose from {WORKLOADS}")
@@ -329,13 +433,15 @@ def run_perf(
     started = time.perf_counter()  # repro: noqa DET001 - wall-clock measurement is the product
     runs: list[WorkloadRun] = []
     for name in names:
+        reps = min(repeats, _MAX_REPEATS.get(name, repeats))
         if progress is not None:
-            progress(f"measuring {name} (best of {repeats})...")
-        runs.append(_measure(_FACTORIES[name](), repeats))
+            progress(f"measuring {name} (best of {reps})...")
+        runs.append(_measure(_FACTORIES[name](), reps))
     return PerfResults(
         workloads=runs,
         wall_time_s=time.perf_counter() - started,  # repro: noqa DET001 - wall-clock measurement is the product
         git_rev=git_revision(),
+        peak_rss=peak_rss_kb(),
     )
 
 
@@ -351,6 +457,13 @@ def render_perf(results: PerfResults) -> str:
         lines.append(
             f"{run.name:<16} {run.events:>9,} {run.wall_s * 1e3:>10.1f} "
             f"{run.events_per_s:>12,.0f} {txns:>10}"
+        )
+    rss = results.peak_rss or peak_rss_kb()
+    if rss.get("self"):
+        lines.append(
+            f"peak RSS: {rss['self'] / 1024:.0f} MiB self"
+            + (f", {rss['children'] / 1024:.0f} MiB pool children"
+               if rss.get("children") else "")
         )
     return "\n".join(lines)
 

@@ -22,6 +22,7 @@ from repro.exec.spec import CellResult, RunSpec
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mds.cluster import Cluster
     from repro.sim.kernel import Simulator
+    from repro.workloads.composite import CompositeResult
 
 Runner = Callable[[RunSpec, bool], CellResult]
 
@@ -198,6 +199,66 @@ def _run_fanout_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
     )
 
 
+def composite_cell(spec: RunSpec, result: "CompositeResult") -> CellResult:
+    """Fold a merged composite result into a cell document.
+
+    Shared by the single-kernel runner below and the partitioned
+    executor (:mod:`repro.exec.partition`): both modes produce their
+    :class:`~repro.workloads.composite.CompositeResult` through the
+    same canonical group-order merge, so folding through one function
+    makes the serialised cells byte-identical by construction.
+    """
+    from repro.analysis.metrics import LatencyStats
+    from repro.exec.spec import derive_seed
+
+    detail: dict[str, object] = {
+        "groups": result.config.groups,
+        "skipped": result.skipped,
+        "reads": result.reads,
+        "events": result.events,
+    }
+    if result.reads:
+        reads = LatencyStats.from_streaming(result.read_latency)
+        read_doc: dict[str, object] = {
+            "count": reads.count,
+            "mean": reads.mean,
+            "p50": reads.p50,
+            "p99": reads.p99,
+        }
+        if reads.mode != "exact":
+            read_doc["mode"] = reads.mode
+        detail["read_latency"] = read_doc
+    return CellResult(
+        spec=spec,
+        derived_seed=derive_seed(spec),
+        committed=result.committed,
+        aborted=result.aborted,
+        makespan=result.makespan,
+        throughput=result.throughput,
+        latency=LatencyStats.from_streaming(result.latency),
+        forced_writes=result.forced_writes,
+        lazy_writes=result.lazy_writes,
+        detail=detail,
+    )
+
+
+def _run_composite_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
+    """Composite mdtest-like cell, single-kernel reference mode.
+
+    The partitioned mode (one DES kernel per shard group, process
+    pool) lives in :mod:`repro.exec.partition` and produces
+    byte-identical cells; this runner is what sweeps and the result
+    cache use.
+    """
+    from repro.workloads.composite import CompositeConfig, run_composite
+
+    if spec.composite is None:
+        raise ValueError(f"composite spec {spec.describe()!r} has no composite field")
+    config = CompositeConfig.from_json(spec.composite)
+    result = run_composite(spec.protocol, config, params=spec.seeded_params())
+    return composite_cell(spec, result)
+
+
 def _run_campaign_spec(spec: RunSpec, keep_cluster: bool) -> CellResult:
     """Adversarial fault-campaign cell (see :mod:`repro.campaign`).
 
@@ -215,3 +276,4 @@ register_runner("abort_burst", _run_abort_burst_spec)
 register_runner("scaling", _run_scaling_spec)
 register_runner("fanout", _run_fanout_spec)
 register_runner("campaign", _run_campaign_spec)
+register_runner("composite", _run_composite_spec)

@@ -68,6 +68,10 @@ class RunSpec:
     #: elsewhere.  Stored as the canonical string (not a dict) so the
     #: spec stays hashable and the identity is byte-stable.
     campaign: Optional[str] = None
+    #: Canonical-JSON composite-workload config (composite kind);
+    #: ``None`` elsewhere.  Same canonical-string discipline as
+    #: ``campaign``: the workload shape is part of the cell identity.
+    composite: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -91,6 +95,8 @@ class RunSpec:
             raise ValueError("fanout kind requires the fanout field")
         if self.kind == "campaign" and self.campaign is None:
             raise ValueError("campaign kind requires the campaign field")
+        if self.kind == "composite" and self.composite is None:
+            raise ValueError("composite kind requires the composite field")
 
     @property
     def effective_params(self) -> SimulationParams:
@@ -128,6 +134,8 @@ class RunSpec:
             doc["n_shards"] = self.n_shards
         if self.campaign is not None:
             doc["campaign"] = self.campaign
+        if self.composite is not None:
+            doc["composite"] = self.composite
         return doc
 
     @staticmethod
@@ -152,6 +160,7 @@ class RunSpec:
             fanout=doc.get("fanout"),
             n_shards=doc.get("n_shards"),
             campaign=doc.get("campaign"),
+            composite=doc.get("composite"),
         )
 
     def identity(self) -> str:
@@ -171,6 +180,10 @@ class RunSpec:
                 bits.append(f"shards={self.n_shards}")
         if self.kind == "campaign":
             bits.append(f"seed={self.seed}")
+        if self.kind == "composite" and self.composite is not None:
+            cfg = json.loads(self.composite)
+            bits.append(f"ops={cfg['ops']}")
+            bits.append(f"groups={cfg['groups']}")
         if self.point is not None:
             bits.append(f"point={self.point}")
         return " ".join(bits)
@@ -210,6 +223,11 @@ class CellResult:
     #: Structured campaign verdict (campaign kind only): the atomicity /
     #: serial-equivalence check results for the run.
     verdict: Optional[dict[str, Any]] = None
+    #: Runner-specific extras (composite kind: skipped / reads /
+    #: groups / events / read latency).  Key-presence discipline: the
+    #: field serialises only when set, so every pre-existing cell
+    #: document is byte-for-byte unchanged.
+    detail: Optional[dict[str, Any]] = None
     payload: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
@@ -225,6 +243,11 @@ class CellResult:
                 "p95": self.latency.p95,
                 "p99": self.latency.p99,
             }
+            # Historical latency docs have no "mode" key; it appears
+            # only for sketch-mode (million-transaction) summaries.
+            mode = getattr(self.latency, "mode", "exact")
+            if mode != "exact":
+                latency["mode"] = mode
         doc = {
             "spec": self.spec.to_dict(),
             "derived_seed": self.derived_seed,
@@ -243,6 +266,8 @@ class CellResult:
         # Same key-presence discipline for campaign verdicts.
         if self.verdict is not None:
             doc["verdict"] = self.verdict
+        if self.detail is not None:
+            doc["detail"] = self.detail
         return doc
 
     @staticmethod
@@ -268,6 +293,7 @@ class CellResult:
                 p50=latency_doc["p50"],
                 p95=latency_doc["p95"],
                 p99=latency_doc["p99"],
+                mode=latency_doc.get("mode", "exact"),
             )
         return CellResult(
             spec=RunSpec.from_dict(doc["spec"]),
@@ -281,4 +307,5 @@ class CellResult:
             lazy_writes=doc["lazy_writes"],
             metrics=doc.get("metrics"),
             verdict=doc.get("verdict"),
+            detail=doc.get("detail"),
         )

@@ -13,10 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.fs.store import _Image
+    from repro.fs.store import _DeltaView, _Image
+
+    #: What ``Update.apply`` runs against: the full image (bootstrap,
+    #: crash recovery) or a copy-on-write transaction view.
+    ImageView = Union["_Image", "_DeltaView"]
 
 
 class FileType(str, Enum):
@@ -75,7 +79,7 @@ class Update:
     def target(self) -> ObjectId:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def apply(self, image: "_Image") -> None:  # pragma: no cover - abstract
+    def apply(self, image: "ImageView") -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def describe(self) -> dict[str, Any]:
@@ -94,7 +98,7 @@ class AddDentry(Update):
     def target(self) -> ObjectId:
         return ObjectId.directory(self.dir_path)
 
-    def apply(self, image: "_Image") -> None:
+    def apply(self, image: "ImageView") -> None:
         entries = image.directory(self.dir_path)
         if self.name in entries:
             raise UpdateError(f"{self.dir_path}/{self.name} already exists")
@@ -111,7 +115,7 @@ class RemoveDentry(Update):
     def target(self) -> ObjectId:
         return ObjectId.directory(self.dir_path)
 
-    def apply(self, image: "_Image") -> None:
+    def apply(self, image: "ImageView") -> None:
         entries = image.directory(self.dir_path)
         if self.name not in entries:
             raise UpdateError(f"{self.dir_path}/{self.name} does not exist")
@@ -128,7 +132,7 @@ class CreateInode(Update):
     def target(self) -> ObjectId:
         return ObjectId.inode(self.ino)
 
-    def apply(self, image: "_Image") -> None:
+    def apply(self, image: "ImageView") -> None:
         if image.has_inode(self.ino):
             raise UpdateError(f"inode {self.ino} already exists")
         image.set_inode(Inode(self.ino, self.ftype, nlink=1))
@@ -143,7 +147,7 @@ class IncLink(Update):
     def target(self) -> ObjectId:
         return ObjectId.inode(self.ino)
 
-    def apply(self, image: "_Image") -> None:
+    def apply(self, image: "ImageView") -> None:
         inode = image.inode(self.ino)
         if inode is None:
             raise UpdateError(f"inode {self.ino} does not exist")
@@ -160,7 +164,7 @@ class DecLink(Update):
     def target(self) -> ObjectId:
         return ObjectId.inode(self.ino)
 
-    def apply(self, image: "_Image") -> None:
+    def apply(self, image: "ImageView") -> None:
         inode = image.inode(self.ino)
         if inode is None:
             raise UpdateError(f"inode {self.ino} does not exist")
@@ -182,7 +186,7 @@ class CreateDirTable(Update):
     def target(self) -> ObjectId:
         return ObjectId.directory(self.path)
 
-    def apply(self, image: "_Image") -> None:
+    def apply(self, image: "ImageView") -> None:
         if self.path in image.directories:
             raise UpdateError(f"directory {self.path!r} already exists")
         image.directories[self.path] = {}
@@ -203,7 +207,7 @@ class RemoveDirTable(Update):
     def target(self) -> ObjectId:
         return ObjectId.directory(self.path)
 
-    def apply(self, image: "_Image") -> None:
+    def apply(self, image: "ImageView") -> None:
         entries = image.directories.get(self.path)
         if entries is None:
             raise UpdateError(f"directory {self.path!r} does not exist")
@@ -223,7 +227,7 @@ class TouchInode(Update):
     def target(self) -> ObjectId:
         return ObjectId.inode(self.ino)
 
-    def apply(self, image: "_Image") -> None:
+    def apply(self, image: "ImageView") -> None:
         inode = image.inode(self.ino)
         if inode is None:
             raise UpdateError(f"inode {self.ino} does not exist")

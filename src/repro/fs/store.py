@@ -19,13 +19,62 @@ durable (protocols call the combined ``commit_durable`` when the two
 coincide).  ``abort`` discards an overlay; ``crash`` discards every
 overlay *and* resets the cache to the stable image — volatile state is
 gone, exactly what reboot-time recovery must rebuild from the log.
+
+Both per-transaction paths are O(objects touched), not O(namespace):
+overlays and the commit/harden folds run against copy-on-write
+:class:`_DeltaView`\\ s of the underlying image, and the applied-txn
+watermark is kept as compressed integer ranges (:class:`_AppliedSet`).
+Million-transaction runs therefore cost the same per transaction as
+ten-transaction runs — see docs/performance.md.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Optional
 
 from repro.fs.objects import Inode, Update, UpdateError
+
+
+class _AppliedSet:
+    """Exact integer-set membership, compressed as sorted disjoint
+    ranges.
+
+    Hardened transaction ids are near-contiguous (the only gaps are
+    aborted transactions and the in-flight tail), so this stays a
+    handful of ranges regardless of how many transactions commit —
+    where a plain ``set[int]`` grew one entry per transaction forever.
+    Membership answers are identical to the plain set's.
+    """
+
+    __slots__ = ("_los", "_his")
+
+    def __init__(self) -> None:
+        self._los: list[int] = []
+        self._his: list[int] = []
+
+    def add(self, txn_id: int) -> None:
+        los, his = self._los, self._his
+        pos = bisect_right(los, txn_id) - 1
+        if pos >= 0 and txn_id <= his[pos]:
+            return  # already present
+        grows_left = pos >= 0 and his[pos] == txn_id - 1
+        grows_right = pos + 1 < len(los) and los[pos + 1] == txn_id + 1
+        if grows_left and grows_right:
+            his[pos] = his[pos + 1]
+            del los[pos + 1]
+            del his[pos + 1]
+        elif grows_left:
+            his[pos] = txn_id
+        elif grows_right:
+            los[pos + 1] = txn_id
+        else:
+            los.insert(pos + 1, txn_id)
+            his.insert(pos + 1, txn_id)
+
+    def __contains__(self, txn_id: int) -> bool:
+        pos = bisect_right(self._los, txn_id) - 1
+        return pos >= 0 and txn_id <= self._his[pos]
 
 
 class _Image:
@@ -61,6 +110,139 @@ class _Image:
         self.inodes.pop(ino, None)
 
 
+class _DeltaDirs:
+    """Copy-on-write view of an image's directory table.
+
+    Reads fall through to the base table; the first mutation of a
+    directory copies only that directory's entries dict.  Mutations
+    land in the delta until :meth:`_DeltaView.fold` pushes them into
+    the base — or are simply dropped when the view is discarded.
+    """
+
+    __slots__ = ("_base", "_local", "_deleted")
+
+    def __init__(self, base: dict[str, dict[str, int]]) -> None:
+        self._base = base
+        #: path -> this view's private (mutable) entries dict
+        self._local: dict[str, dict[str, int]] = {}
+        #: paths removed in this view
+        self._deleted: set[str] = set()
+
+    def __contains__(self, path: object) -> bool:
+        if path in self._local:
+            return True
+        return path in self._base and path not in self._deleted
+
+    def get(self, path: str) -> Optional[dict[str, int]]:
+        """Read-only view of ``path``'s entries (None when absent).
+
+        Callers must not mutate the result: use :meth:`writable`
+        (via ``_DeltaView.directory``) or the item protocol instead.
+        """
+        local = self._local.get(path)
+        if local is not None:
+            return local
+        if path in self._deleted:
+            return None
+        return self._base.get(path)
+
+    def writable(self, path: str) -> Optional[dict[str, int]]:
+        """Entries dict for ``path`` that is safe to mutate (None when
+        absent): the first call copies the base entries into the delta."""
+        local = self._local.get(path)
+        if local is not None:
+            return local
+        if path in self._deleted:
+            return None
+        base = self._base.get(path)
+        if base is None:
+            return None
+        copy = dict(base)
+        self._local[path] = copy
+        return copy
+
+    def __setitem__(self, path: str, entries: dict[str, int]) -> None:
+        self._deleted.discard(path)
+        self._local[path] = entries
+
+    def __delitem__(self, path: str) -> None:
+        self._local.pop(path, None)
+        self._deleted.add(path)
+
+    def fold(self) -> None:
+        """Push this view's changes into the base table, in place."""
+        for path in self._deleted:
+            self._base.pop(path, None)
+        self._base.update(self._local)
+
+
+class _DeltaView:
+    """Copy-on-write overlay over an :class:`_Image`.
+
+    Presents the exact surface :meth:`Update.apply` uses, so a
+    transaction's updates run against the live image without copying
+    it: only the directories and inodes the transaction touches are
+    duplicated.  Discarding the view (abort, or an
+    :class:`UpdateError` mid-fold) leaves the base image untouched —
+    the same all-or-nothing contract the old scratch-copy-and-swap
+    gave, at O(objects touched) instead of O(namespace).
+
+    Correctness under concurrent transactions rests on strict 2PL:
+    every object a transaction reads or writes is locked before its
+    first ``apply``, so nothing another transaction could fold into
+    the base between overlay creation and use is ever visible through
+    this view.
+    """
+
+    __slots__ = ("_base", "directories", "_inodes")
+
+    def __init__(self, base: _Image) -> None:
+        self._base = base
+        self.directories = _DeltaDirs(base.directories)
+        #: ino -> this view's private Inode copy, or None when deleted
+        self._inodes: dict[int, Optional[Inode]] = {}
+
+    # -- accessors used by Update.apply (mirror _Image's) -------------------
+
+    def directory(self, path: str) -> dict[str, int]:
+        entries = self.directories.writable(path)
+        if entries is None:
+            raise UpdateError(f"directory {path!r} does not exist here")
+        return entries
+
+    def has_inode(self, ino: int) -> bool:
+        if ino in self._inodes:
+            return self._inodes[ino] is not None
+        return ino in self._base.inodes
+
+    def inode(self, ino: int) -> Optional[Inode]:
+        # Updates mutate the returned inode in place (IncLink/DecLink),
+        # so hand out a registered private copy, never the base inode.
+        if ino in self._inodes:
+            return self._inodes[ino]
+        base = self._base.inodes.get(ino)
+        if base is None:
+            return None
+        copy = base.copy()
+        self._inodes[ino] = copy
+        return copy
+
+    def set_inode(self, inode: Inode) -> None:
+        self._inodes[inode.ino] = inode
+
+    def del_inode(self, ino: int) -> None:
+        self._inodes[ino] = None
+
+    def fold(self) -> None:
+        """Push this view's changes into the base image, in place."""
+        self.directories.fold()
+        for ino, node in self._inodes.items():
+            if node is None:
+                self._base.inodes.pop(ino, None)
+            else:
+                self._base.inodes[ino] = node
+
+
 class MetadataStore:
     """One MDS's share of the namespace, with transactional overlays."""
 
@@ -68,15 +250,17 @@ class MetadataStore:
         self.node = node
         self._stable = _Image()
         self._cache = _Image()
-        #: txn_id -> (overlay image, updates applied in order)
-        self._overlays: dict[int, tuple[_Image, list[Update]]] = {}
+        #: txn_id -> (overlay view of the cache, updates in order)
+        self._overlays: dict[int, tuple[_DeltaView, list[Update]]] = {}
         #: Committed-in-cache transactions whose log force is pending:
         #: txn_id -> updates (in commit order, for hardening).
         self._pending_harden: dict[int, list[Update]] = {}
         #: Transactions already folded into the stable image.  Survives
         #: crashes (models the replay watermark a real WAL keeps) so
         #: that recovery never double-applies a committed transaction.
-        self._applied: set[int] = set()
+        #: Exact membership, compressed to ranges so memory stays O(1)
+        #: in committed-transaction count.
+        self._applied = _AppliedSet()
 
     # -- provisioning (outside any transaction; test/bootstrap path) ------------
 
@@ -101,7 +285,10 @@ class MetadataStore:
         the (overlaid) cache image; the caller then aborts.
         """
         if txn_id not in self._overlays:
-            self._overlays[txn_id] = (self._cache.copy(), [])
+            # A copy-on-write view, not a full copy: under strict 2PL
+            # every object this transaction touches is locked first,
+            # so reads through the view are stable for its lifetime.
+            self._overlays[txn_id] = (_DeltaView(self._cache), [])
         image, updates = self._overlays[txn_id]
         update.apply(image)
         updates.append(update)
@@ -123,13 +310,13 @@ class MetadataStore:
         if txn_id in self._applied or txn_id in self._pending_harden:
             return
         _image, updates = entry
-        # Apply to a scratch image first so a conflicting update (only
+        # Apply to a delta view first so a conflicting update (only
         # possible when the caller bypassed 2PL) cannot leave a partial
-        # commit behind.
-        scratch = self._cache.copy()
+        # commit behind; folding the view mutates the cache in place.
+        delta = _DeltaView(self._cache)
         for update in updates:
-            update.apply(scratch)
-        self._cache = scratch
+            update.apply(delta)
+        delta.fold()
         self._pending_harden[txn_id] = updates
 
     def harden(self, txn_id: int) -> None:
@@ -138,10 +325,10 @@ class MetadataStore:
         updates = self._pending_harden.pop(txn_id, None)
         if updates is None or txn_id in self._applied:
             return
-        scratch = self._stable.copy()
+        delta = _DeltaView(self._stable)
         for update in updates:
-            update.apply(scratch)
-        self._stable = scratch
+            update.apply(delta)
+        delta.fold()
         self._applied.add(txn_id)
 
     def commit_durable(self, txn_id: int) -> None:

@@ -12,6 +12,7 @@ from repro.lint.rules import (  # noqa: F401
     fence,
     fence_flow,
     gen,
+    mem,
     obs,
     proto,
     race,

@@ -1,0 +1,66 @@
+"""MEM — bounded-memory rules for the measurement hot paths.
+
+The million-transaction contract (docs/performance.md): harness,
+observability and workload code observes per-transaction data through
+streaming accumulators (:mod:`repro.analysis.streaming`), never by
+growing a Python list one entry per transaction.  An unbounded
+``self.<attr>.append(...)`` in those areas is exactly how the
+O(n)-memory regression re-enters the codebase, so it is flagged at
+review time rather than found in an OOM-killed scale run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Areas on the per-transaction measurement path.  Protocol and kernel
+#: internals (sim, mds, protocols...) manage their own bounded queues;
+#: analysis finalisers run once per cell, not once per transaction.
+_HOT_AREAS = frozenset({"obs", "harness", "workloads"})
+
+
+@register
+class UnboundedAppendRule(Rule):
+    id = "MEM001"
+    summary = "hot-path accumulators must stream, not append per transaction"
+    rationale = (
+        "A `self.x.append(...)` on the observation path grows memory "
+        "linearly with transaction count, so a million-transaction run "
+        "holds millions of floats the statistics never needed — route "
+        "the stream through analysis.streaming.StreamingStats (O(1) in "
+        "observation count) or bound the buffer explicitly."
+    )
+    good_example = (
+        "def on_outcome(self, outcome):\n"
+        "    self.latency.observe(outcome.client_latency)  # StreamingStats"
+    )
+    bad_example = (
+        "def on_outcome(self, outcome):\n"
+        "    self.latencies.append(outcome.client_latency)  # O(n) memory"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not (ctx.in_src and ctx.area in _HOT_AREAS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Attribute)
+                and isinstance(node.func.value.value, ast.Name)
+                and node.func.value.value.id == "self"
+            ):
+                continue
+            yield ctx.finding(
+                node,
+                self.id,
+                f"`self.{node.func.value.attr}.append(...)` accumulates "
+                "per-transaction data unboundedly; use a streaming "
+                "accumulator or a bounded buffer",
+            )

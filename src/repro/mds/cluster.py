@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import repro.core  # noqa: F401  (registers the 1PC protocol)
 from repro.config import SimulationParams
@@ -76,6 +76,8 @@ class Cluster:
         heartbeats: bool = False,
         trace: bool = True,
         seed: Optional[int] = None,
+        sim: Optional[Simulator] = None,
+        outcome_sink: Optional[Callable[[TxnOutcome], None]] = None,
     ):
         if protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}; have {sorted(PROTOCOLS)}")
@@ -85,7 +87,14 @@ class Cluster:
         self.params = params or SimulationParams.paper_defaults()
         if seed is not None:
             self.params = dataclasses.replace(self.params, seed=seed)
-        self.sim = Simulator()
+        # ``sim`` lets several *independent* clusters co-host on one
+        # kernel (the single-kernel reference run of the partitioned
+        # composite workload); by default each cluster owns its own.
+        self.sim = sim if sim is not None else Simulator()
+        #: When set, finished-transaction outcomes are routed here
+        #: instead of accumulating on the ``outcomes`` list — the
+        #: bounded-memory path for million-transaction workloads.
+        self.outcome_sink = outcome_sink
         #: The observability hub: legacy trace log + spans + metrics.
         self.obs = Observability(self.sim, enabled=trace)
         self.trace = self.obs.trace
@@ -250,7 +259,10 @@ class Cluster:
         return next(self._client_ids)
 
     def record_outcome(self, outcome: TxnOutcome) -> None:
-        self.outcomes.append(outcome)
+        if self.outcome_sink is not None:
+            self.outcome_sink(outcome)
+        else:
+            self.outcomes.append(outcome)
 
     def committed_outcomes(self) -> list[TxnOutcome]:
         return [o for o in self.outcomes if o.committed]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.analysis.metrics import percentile
+from repro.analysis.streaming import StreamingStats
 
 
 class Counter:
@@ -31,52 +32,83 @@ class Counter:
 
 
 class Histogram:
-    """A distribution of observations (simulated-time values)."""
+    """A distribution of observations (simulated-time values).
 
-    __slots__ = ("name", "values")
+    Backed by a :class:`~repro.analysis.streaming.StreamingStats`
+    accumulator: below the exact threshold the raw values are buffered
+    and every summary reproduces the historical list computation
+    byte-for-byte; above it the histogram holds O(1) memory in
+    observation count and quantiles come from the deterministic sketch
+    (keyed by the histogram name, so summaries stay reproducible).
+    """
+
+    __slots__ = ("name", "_stats")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.values: list[float] = []
+        self._stats = StreamingStats(label=name)
 
     def observe(self, value: float) -> None:
-        self.values.append(value)
+        self._stats.observe(value)
+
+    @property
+    def values(self) -> list[float]:
+        """Raw observations in arrival order (exact mode only)."""
+        return self._stats.values
+
+    @property
+    def mode(self) -> str:
+        """``"exact"`` or ``"sketch"`` (see the streaming module)."""
+        return self._stats.mode
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._stats.count
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        # Exact mode keeps the legacy arrival-order summation; the
+        # sketch approximates the total from the running mean.
+        if self._stats.mode == "exact":
+            return sum(self._stats.values)
+        return self._stats.mean * self._stats.count
 
     @property
     def mean(self) -> float:
-        if not self.values:
+        if self._stats.count == 0:
             raise ValueError(f"histogram {self.name!r} is empty")
-        return self.total / len(self.values)
+        if self._stats.mode == "exact":
+            return self.total / self._stats.count
+        return self._stats.mean
 
     @property
     def minimum(self) -> float:
-        if not self.values:
+        if self._stats.count == 0:
             raise ValueError(f"histogram {self.name!r} is empty")
-        return min(self.values)
+        return self._stats.minimum
 
     @property
     def maximum(self) -> float:
-        if not self.values:
+        if self._stats.count == 0:
             raise ValueError(f"histogram {self.name!r} is empty")
-        return max(self.values)
+        return self._stats.maximum
 
     def quantile(self, pct: float) -> float:
         """Interpolated percentile of the observations."""
-        return percentile(sorted(self.values), pct)
+        if self._stats.mode == "exact":
+            return percentile(self._stats.values, pct)
+        return self._stats.quantile(pct)
 
-    def summary(self) -> dict[str, float]:
-        """Plain-data summary (for exporters and run results)."""
-        if not self.values:
+    def summary(self) -> dict[str, Any]:
+        """Plain-data summary (for exporters and run results).
+
+        Exact-mode documents carry the historical keys only, so every
+        committed metrics snapshot stays byte-identical; sketch-mode
+        summaries add ``"mode": "sketch"`` (key-presence discipline).
+        """
+        if self._stats.count == 0:
             return {"count": 0}
-        return {
+        doc: dict[str, Any] = {
             "count": self.count,
             "mean": self.mean,
             "min": self.minimum,
@@ -85,6 +117,9 @@ class Histogram:
             "p95": self.quantile(95.0),
             "p99": self.quantile(99.0),
         }
+        if self._stats.mode != "exact":
+            doc["mode"] = self._stats.mode
+        return doc
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Histogram({self.name}, n={self.count})"

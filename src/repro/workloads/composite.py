@@ -1,0 +1,469 @@
+"""Composite mdtest-like workload: lazy trace generation, windowed replay.
+
+The §IV burst is one directory, one operation type, one shot.  Real
+metadata traces (mdtest, the I/O-characterisation literature the paper
+cites) mix CREATE/DELETE/RENAME/STAT, skew hard toward a hot
+directory, and arrive in diurnal bursts.  This module generates such a
+trace *lazily* from named RNG streams — millions of operations are
+never materialised as a list — and replays it against one cluster per
+shard group with a bounded window of closed-loop clients, folding
+every latency into :class:`~repro.analysis.streaming.StreamingStats`.
+Peak memory is therefore O(1) in operation count: the generator keeps
+a bounded live-file window, the WAL garbage-collects as transactions
+finish, and no per-transaction list grows anywhere.
+
+Shard groups are fully independent (disjoint namespaces, servers,
+networks, logs — the sharded-placement regime of PR 7 taken to its
+decoupled limit), which is what makes the workload *partitionable*:
+the same groups can run co-hosted on one DES kernel (the reference
+mode, :func:`run_composite`) or one kernel per group in a process pool
+(:mod:`repro.exec.partition`), with byte-identical merged results.
+The single-kernel argument: the kernel's event heap breaks ties by a
+monotone sequence number, so co-hosted groups interleave without ever
+reordering events *within* a group, and groups share no state — each
+group's event sequence is exactly its standalone sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.streaming import StreamingStats, merge_all
+from repro.config import SimulationParams
+from repro.harness.scenarios import ForcedDistributedPlacement
+from repro.mds.cluster import Cluster
+from repro.sim import RngRegistry, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fs.operations import OpPlan
+    from repro.mds.client import Client
+    from repro.protocols.base import TxnOutcome
+
+#: The skewed directory every group hammers.
+HOT_DIR = "/hot"
+
+#: Trace operation kinds the generator emits.
+TRACE_OPS = ("create", "delete", "rename", "stat")
+
+
+@dataclass(frozen=True)
+class CompositeConfig:
+    """One composite workload, canonically serialisable.
+
+    The canonical JSON form (:meth:`to_json`) is stored on the spec
+    (``RunSpec.composite``), so the workload shape is part of the cell
+    identity and the derived seed — the same discipline as campaign
+    schedules.
+    """
+
+    #: Total operations across all groups.
+    ops: int = 1000
+    #: Independent shard groups (each a 2-MDS cluster of its own).
+    groups: int = 1
+    #: Operation mix as (kind, weight) pairs; weights need not sum to 1.
+    mix: Tuple[Tuple[str, float], ...] = (
+        ("create", 0.55),
+        ("delete", 0.2),
+        ("rename", 0.1),
+        ("stat", 0.15),
+    )
+    #: Probability an operation targets the hot directory.
+    hot_fraction: float = 0.8
+    #: Cold directories per group (the non-hot targets).
+    cold_dirs: int = 4
+    #: Closed-loop clients per group — the in-flight operation bound.
+    window: int = 32
+    #: Live-file cap per group: creates beyond it become deletes, so
+    #: the simulated namespace (and the generator's own state) stays
+    #: bounded no matter how many operations flow through.
+    working_set: int = 512
+    #: Mean client think time between operations (seconds).
+    mean_gap: float = 5e-4
+    #: Diurnal rate multipliers; the trace is split into equal phases
+    #: and phase ``p`` draws gaps with mean ``mean_gap / phases[p]``.
+    phases: Tuple[float, ...] = (1.0, 4.0, 1.0, 0.25)
+
+    def __post_init__(self) -> None:
+        if self.ops < 1:
+            raise ValueError(f"ops must be >= 1, got {self.ops}")
+        if self.groups < 1:
+            raise ValueError(f"groups must be >= 1, got {self.groups}")
+        if self.groups > self.ops:
+            raise ValueError(f"groups {self.groups} cannot exceed ops {self.ops}")
+        if not self.mix:
+            raise ValueError("mix must be non-empty")
+        for kind, weight in self.mix:
+            if kind not in TRACE_OPS:
+                raise ValueError(f"unknown mix op {kind!r}; have {TRACE_OPS}")
+            if weight < 0:
+                raise ValueError(f"mix weight for {kind!r} must be >= 0")
+        if not any(weight > 0 for _, weight in self.mix):
+            raise ValueError("mix weights must not all be zero")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {self.hot_fraction}")
+        if self.cold_dirs < 0:
+            raise ValueError(f"cold_dirs must be >= 0, got {self.cold_dirs}")
+        if self.cold_dirs == 0 and self.hot_fraction < 1.0:
+            raise ValueError("cold_dirs=0 requires hot_fraction=1.0")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.working_set < 1:
+            raise ValueError(f"working_set must be >= 1, got {self.working_set}")
+        if self.mean_gap < 0:
+            raise ValueError(f"mean_gap must be >= 0, got {self.mean_gap}")
+        if not self.phases or any(rate <= 0 for rate in self.phases):
+            raise ValueError("phases must be non-empty positive rate multipliers")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ops": self.ops,
+            "groups": self.groups,
+            "mix": [[kind, weight] for kind, weight in self.mix],
+            "hot_fraction": self.hot_fraction,
+            "cold_dirs": self.cold_dirs,
+            "window": self.window,
+            "working_set": self.working_set,
+            "mean_gap": self.mean_gap,
+            "phases": list(self.phases),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — the form stored on ``RunSpec.composite``."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "CompositeConfig":
+        return CompositeConfig(
+            ops=doc["ops"],
+            groups=doc["groups"],
+            mix=tuple((kind, weight) for kind, weight in doc["mix"]),
+            hot_fraction=doc["hot_fraction"],
+            cold_dirs=doc["cold_dirs"],
+            window=doc["window"],
+            working_set=doc["working_set"],
+            mean_gap=doc["mean_gap"],
+            phases=tuple(doc["phases"]),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "CompositeConfig":
+        return CompositeConfig.from_dict(json.loads(text))
+
+
+def group_seed(params_seed: int, group: int) -> int:
+    """The root seed of shard group ``group`` — a named child stream of
+    the spec-derived seed, so groups are independent but reproducible."""
+    return RngRegistry(params_seed).spawn(f"composite-group-{group}").root_seed
+
+
+def group_ops(config: CompositeConfig, group: int) -> int:
+    """Operations assigned to ``group`` (remainder to the low groups)."""
+    base, extra = divmod(config.ops, config.groups)
+    return base + (1 if group < extra else 0)
+
+
+def composite_trace(
+    config: CompositeConfig, seed: int, n_ops: Optional[int] = None
+) -> Iterator[Dict[str, Any]]:
+    """Lazily generate one group's operation stream.
+
+    Yields ``{"op", "path", "gap"[, "dst"]}`` dicts, one at a time —
+    the stream is never materialised.  All randomness flows through
+    named streams of one :class:`RngRegistry`, so the trace is a pure
+    function of ``(config, seed)``.  Generator state is bounded: a
+    live-file deque capped at ``working_set`` and an integer counter.
+    """
+    if n_ops is None:
+        n_ops = config.ops
+    rng = RngRegistry(seed)
+    mix_stream = rng.stream("mix")
+    kinds = [kind for kind, _ in config.mix]
+    weights = [weight for _, weight in config.mix]
+    total_weight = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cumulative.append(acc / total_weight)
+    phases = config.phases
+    n_phases = len(phases)
+    live: "deque[str]" = deque()
+    counter = 0
+    for i in range(n_ops):
+        rate = phases[min(i * n_phases // n_ops, n_phases - 1)]
+        gap = rng.exponential("gap", config.mean_gap / rate) if config.mean_gap > 0 else 0.0
+        if config.cold_dirs and not rng.bernoulli("target", config.hot_fraction):
+            directory = f"/cold{rng.integers('dir', 0, config.cold_dirs - 1)}"
+        else:
+            directory = HOT_DIR
+        draw = mix_stream.random()
+        kind = kinds[-1]
+        for index, edge in enumerate(cumulative):
+            if draw < edge:
+                kind = kinds[index]
+                break
+        if kind in ("delete", "rename") and not live:
+            kind = "create"
+        if kind == "create" and len(live) >= config.working_set:
+            kind = "delete"
+        if kind == "create":
+            path = f"{directory}/f{counter}"
+            counter += 1
+            live.append(path)
+            yield {"op": "create", "path": path, "gap": gap}
+        elif kind == "delete":
+            path = live.popleft()
+            yield {"op": "delete", "path": path, "gap": gap}
+        elif kind == "rename":
+            src = live.popleft()
+            # Rename in place (mdtest's checkpoint rotation): the
+            # transaction touches one directory plus the inode.
+            dst = f"{src.rsplit('/', 1)[0]}/r{counter}"
+            counter += 1
+            live.append(dst)
+            yield {"op": "rename", "path": src, "dst": dst, "gap": gap}
+        else:
+            path = live[0] if live else f"{directory}/f0"
+            yield {"op": "stat", "path": path, "gap": gap}
+
+
+@dataclass(frozen=True)
+class GroupOutcome:
+    """Plain-data result of one shard group (pickles across the pool)."""
+
+    group: int
+    committed: int
+    aborted: int
+    skipped: int
+    reads: int
+    last_reply: float
+    events: int
+    forced_writes: int
+    lazy_writes: int
+    latency: StreamingStats
+    read_latency: StreamingStats
+
+
+@dataclass(frozen=True)
+class CompositeResult:
+    """Merged outcome of a composite run (either execution mode)."""
+
+    protocol: str
+    config: CompositeConfig
+    committed: int
+    aborted: int
+    skipped: int
+    reads: int
+    makespan: float
+    throughput: float
+    events: int
+    forced_writes: int
+    lazy_writes: int
+    latency: StreamingStats
+    read_latency: StreamingStats
+    per_group: Tuple[GroupOutcome, ...]
+
+
+class _GroupAccumulator:
+    """Streaming sinks for one group — the bounded-memory 'leave' module."""
+
+    def __init__(self, seed: int, label: str) -> None:
+        self.latency = StreamingStats(seed=seed, label=f"{label}:latency")
+        self.read_latency = StreamingStats(seed=seed, label=f"{label}:stat")
+        self.committed = 0
+        self.aborted = 0
+        self.skipped = 0
+        self.reads = 0
+        self.last_reply = 0.0
+
+    def on_outcome(self, outcome: "TxnOutcome") -> None:
+        if outcome.committed:
+            self.committed += 1
+        else:
+            self.aborted += 1
+        self.latency.observe(outcome.client_latency)
+        if outcome.replied_at > self.last_reply:
+            self.last_reply = outcome.replied_at
+
+
+def _plan_for(client: "Client", op: Dict[str, Any]) -> "Optional[OpPlan]":
+    """Plan a trace operation; ``None`` when the target is gone (the
+    replaying-client convention: skip and move on)."""
+    kind = op["op"]
+    try:
+        if kind == "create":
+            return client.plan_create(op["path"])
+        if kind == "delete":
+            return client.plan_delete(op["path"])
+        return client.plan_rename(op["path"], op["dst"], touch_inode=False)
+    except (FileNotFoundError, ValueError):
+        return None
+
+
+def _worker(
+    sim: Simulator,
+    client: "Client",
+    ops: Iterator[Dict[str, Any]],
+    acc: _GroupAccumulator,
+) -> Iterator[Any]:
+    """One closed-loop client: pull the next trace op, think, run it.
+
+    All of a group's workers share one lazy iterator, so the group's
+    in-flight operations are bounded by the worker count (the window) —
+    and with it the WAL's open-transaction scan stays O(window), not
+    O(n): the deep-burst quadratic is designed out.
+    """
+    for op in ops:
+        gap = op["gap"]
+        if gap > 0:
+            yield sim.timeout(gap)
+        if op["op"] == "stat":
+            started = sim.now
+            yield from client.stat(op["path"])
+            acc.reads += 1
+            acc.read_latency.observe(sim.now - started)
+            if sim.now > acc.last_reply:
+                acc.last_reply = sim.now
+            continue
+        plan = _plan_for(client, op)
+        if plan is None:
+            acc.skipped += 1
+            continue
+        yield from client.run(plan)
+
+
+def setup_group(
+    sim: Simulator,
+    protocol: str,
+    config: CompositeConfig,
+    params: SimulationParams,
+    group: int,
+) -> Tuple[Cluster, _GroupAccumulator]:
+    """Wire one shard group onto ``sim`` (shared or private kernel).
+
+    The group is a self-contained two-MDS cluster — own network, own
+    logs, own RNG root (:func:`group_seed`) — whose behaviour is
+    therefore identical whether the kernel is shared or not.
+    """
+    seed = group_seed(params.seed, group)
+    acc = _GroupAccumulator(seed=seed, label=f"g{group}")
+    cluster = Cluster(
+        protocol=protocol,
+        server_names=["mds1", "mds2"],
+        params=dataclasses.replace(params, seed=seed),
+        placement=ForcedDistributedPlacement("mds1", "mds2"),
+        trace=False,
+        sim=sim,
+        outcome_sink=acc.on_outcome,
+    )
+    cluster.mkdir(HOT_DIR)
+    for j in range(config.cold_dirs):
+        cluster.mkdir(f"/cold{j}")
+    trace_seed = RngRegistry(seed).spawn("trace").root_seed
+    ops = composite_trace(config, trace_seed, group_ops(config, group))
+    for _ in range(config.window):
+        client = cluster.new_client()
+        sim.process(
+            _worker(sim, client, ops, acc), name=f"composite-g{group}-{client.name}"
+        )
+    return cluster, acc
+
+
+def finalize_group(
+    cluster: Cluster, acc: _GroupAccumulator, group: int, events: int
+) -> GroupOutcome:
+    """Fold a finished group into plain data (checks invariants first)."""
+    violations = cluster.check_invariants()
+    if violations:
+        raise RuntimeError(f"composite group {group} violations: {violations}")
+    forced = sum(s.wal.forced_appends for s in cluster.servers.values())
+    lazy = sum(s.wal.lazy_appends for s in cluster.servers.values())
+    return GroupOutcome(
+        group=group,
+        committed=acc.committed,
+        aborted=acc.aborted,
+        skipped=acc.skipped,
+        reads=acc.reads,
+        last_reply=acc.last_reply,
+        events=events,
+        forced_writes=forced,
+        lazy_writes=lazy,
+        latency=acc.latency,
+        read_latency=acc.read_latency,
+    )
+
+
+def run_group_standalone(
+    protocol: str, config: CompositeConfig, params: SimulationParams, group: int
+) -> GroupOutcome:
+    """Run one shard group on its own kernel (the partitioned unit)."""
+    sim = Simulator()
+    cluster, acc = setup_group(sim, protocol, config, params, group)
+    sim.run()
+    return finalize_group(cluster, acc, group, sim.events_processed)
+
+
+def merge_groups(
+    protocol: str, config: CompositeConfig, outcomes: List[GroupOutcome]
+) -> CompositeResult:
+    """Merge per-group outcomes in group order — the canonical merge.
+
+    Both execution modes call this with outcomes sorted by group, so
+    the floating-point merge sequence (and hence the serialised JSON)
+    is identical by construction.
+    """
+    outcomes = sorted(outcomes, key=lambda o: o.group)
+    if [o.group for o in outcomes] != list(range(config.groups)):
+        raise ValueError(f"expected groups 0..{config.groups - 1}, got {outcomes}")
+    makespan = max(o.last_reply for o in outcomes)
+    committed = sum(o.committed for o in outcomes)
+    return CompositeResult(
+        protocol=protocol,
+        config=config,
+        committed=committed,
+        aborted=sum(o.aborted for o in outcomes),
+        skipped=sum(o.skipped for o in outcomes),
+        reads=sum(o.reads for o in outcomes),
+        makespan=makespan,
+        throughput=committed / makespan if makespan > 0 else 0.0,
+        events=sum(o.events for o in outcomes),
+        forced_writes=sum(o.forced_writes for o in outcomes),
+        lazy_writes=sum(o.lazy_writes for o in outcomes),
+        latency=merge_all([o.latency for o in outcomes]),
+        read_latency=merge_all([o.read_latency for o in outcomes]),
+        per_group=tuple(outcomes),
+    )
+
+
+def run_composite(
+    protocol: str,
+    config: CompositeConfig,
+    params: Optional[SimulationParams] = None,
+) -> CompositeResult:
+    """Single-kernel reference run: all groups co-hosted on one DES.
+
+    Per-group statistics are accumulated separately and merged through
+    :func:`merge_groups` — the same code path the partitioned mode
+    uses — so the two modes are byte-identical by construction.
+    """
+    params = params or SimulationParams.paper_defaults()
+    sim = Simulator()
+    hosted = [
+        setup_group(sim, protocol, config, params, group)
+        for group in range(config.groups)
+    ]
+    sim.run()
+    outcomes = [
+        finalize_group(cluster, acc, group, 0)
+        for group, (cluster, acc) in enumerate(hosted)
+    ]
+    # Events cannot be attributed per group on a shared kernel; report
+    # the kernel total on group 0 so the merged sum matches the
+    # partitioned mode (each group's standalone event count sums to
+    # the co-hosted total — groups share no events).
+    outcomes[0] = dataclasses.replace(outcomes[0], events=sim.events_processed)
+    return merge_groups(protocol, config, outcomes)

@@ -30,7 +30,11 @@ from repro.config import SimulationParams
 from repro.harness.scenarios import burst_cluster
 from repro.workloads.burst import BurstResult
 
-VALID_OPS = frozenset({"mkdir", "create", "delete", "rmdir", "rename", "link"})
+VALID_OPS = frozenset({"mkdir", "create", "delete", "rmdir", "rename", "link", "stat"})
+
+#: Read-only operations: served by one MDS, no transaction, no
+#: :class:`~repro.protocols.base.TxnOutcome` — accounted separately.
+READ_OPS = frozenset({"stat"})
 
 
 def validate_ops(ops: Sequence[dict]) -> None:
@@ -92,6 +96,7 @@ def run_replay(
     cluster, client = burst_cluster(protocol, params=params)
     sim = cluster.sim
     skipped = {"n": 0}
+    stats = {"n": 0}
 
     def plan_for(op):
         kind = op["op"]
@@ -111,11 +116,26 @@ def run_replay(
             skipped["n"] += 1
             return None
 
+    def do_stat(path):
+        try:
+            yield from client.stat(path, timeout=op_timeout)
+        except Exception:
+            pass
+
     def driver(sim):
         for op in ops:
             t = float(op.get("t", 0.0))
             if t > sim.now:
                 yield sim.timeout(t - sim.now)
+            if op["op"] in READ_OPS:
+                # Metadata read: no transaction, no outcome — run it
+                # inline when closed-loop, fire-and-forget otherwise.
+                stats["n"] += 1
+                if closed_loop:
+                    yield from do_stat(op["path"])
+                else:
+                    sim.process(do_stat(op["path"]), name="replay-stat")
+                continue
             plan = plan_for(op)
             if plan is None:
                 continue
@@ -131,7 +151,7 @@ def run_replay(
     proc = sim.process(driver(sim), name="replay")
     sim.run(until=proc)
     # Drain outstanding open-loop operations and trailing protocol work.
-    expected = len(ops) - skipped["n"]
+    expected = len(ops) - skipped["n"] - stats["n"]
     guard = sim.now + 600.0
     while len(cluster.outcomes) < expected and sim.peek() < guard:
         sim.step()

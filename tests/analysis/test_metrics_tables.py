@@ -59,6 +59,17 @@ def test_percentile_validation():
     assert percentile([7.0], 50) == 7.0
 
 
+def test_percentile_sorts_unsorted_input():
+    # Regression: the historical signature required pre-sorted input
+    # and silently interpolated garbage otherwise.
+    shuffled = [4.0, 1.0, 3.0, 2.0]
+    assert percentile(shuffled, 0) == 1.0
+    assert percentile(shuffled, 100) == 4.0
+    assert percentile(shuffled, 50) == percentile(sorted(shuffled), 50)
+    # The input list itself must not be reordered in place.
+    assert shuffled == [4.0, 1.0, 3.0, 2.0]
+
+
 def test_latency_stats_from_outcomes():
     outcomes = [outcome(i, 0.0, float(i)) for i in range(1, 11)]
     stats = LatencyStats.from_outcomes(outcomes)

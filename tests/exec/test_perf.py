@@ -3,17 +3,47 @@
 from __future__ import annotations
 
 from repro.exec.perf import (
+    DEFAULT_SKIP,
     PERF_SCHEMA_VERSION,
     WORKLOADS,
     PerfResults,
     _run_figure6_warm,
+    _run_million_txn,
+    peak_rss_kb,
     run_perf,
 )
 
 
 def test_figure6_warm_is_a_pinned_workload():
-    assert PERF_SCHEMA_VERSION == 2
+    assert PERF_SCHEMA_VERSION == 3
     assert "figure6-warm" in WORKLOADS
+
+
+def test_million_txn_is_pinned_but_opt_in():
+    assert "million-txn" in WORKLOADS
+    assert "million-txn" in DEFAULT_SKIP
+
+
+def test_peak_rss_watermark_is_positive_and_monotone():
+    first = peak_rss_kb()
+    assert first["self"] > 0
+    ballast = [0.0] * 2_000_000  # ~16 MB: push the watermark up
+    second = peak_rss_kb()
+    del ballast
+    assert second["self"] >= first["self"]
+    # High watermark: releasing the ballast must not lower it.
+    assert peak_rss_kb()["self"] >= second["self"]
+
+
+def test_million_txn_scaled_down_records_rss_ratio():
+    # The real workload runs minutes; exercise the same code path at
+    # 1/1000 scale and relax only the absolute committed-count floor.
+    run = _run_million_txn(ops=1_500, groups=2)
+    try:
+        run()
+        raise AssertionError("1,500 ops cannot commit a million transactions")
+    except RuntimeError as exc:
+        assert "needs >= 1,000,000" in str(exc)
 
 
 def test_figure6_warm_measures_cold_and_warm_pair():
@@ -43,3 +73,13 @@ def test_perf_document_schema_carries_both_wall_clocks():
     (workload,) = doc["workloads"]
     assert workload["name"] == "figure6-warm"
     assert workload["detail"]["cold_wall_s"] > workload["detail"]["warm_wall_s"] > 0
+    # Schema v3: the document reports the process's RSS watermark.
+    assert doc["peak_rss_kb"]["self"] > 0
+
+
+def test_default_run_skips_the_scale_workload():
+    results = run_perf(workloads=["kernel-churn"], repeats=1)
+    assert [w.name for w in results.workloads] == ["kernel-churn"]
+    # And the default (workloads=None) name list excludes million-txn.
+    defaults = [n for n in WORKLOADS if n not in DEFAULT_SKIP]
+    assert "million-txn" not in defaults and len(defaults) == len(WORKLOADS) - 1

@@ -1,0 +1,14 @@
+# repro: path src/repro/harness/mem_fixture.py
+"""MEM fixture: per-transaction list growth on the measurement path."""
+
+
+class LeakyHarness:
+    def __init__(self):
+        self.latencies = []
+        self.outcomes = []
+
+    def on_outcome(self, outcome):
+        # MEM001: one float per transaction, forever.
+        self.latencies.append(outcome.client_latency)
+        if outcome.committed:
+            self.outcomes.append(outcome)  # MEM001: whole objects, worse

@@ -1,0 +1,19 @@
+# repro: path src/repro/harness/mem_fixture_ok.py
+"""MEM fixture: bounded-memory accumulation — zero findings."""
+
+from collections import deque
+
+
+class StreamingHarness:
+    def __init__(self, stats, window=64):
+        self.stats = stats  # a streaming accumulator, O(1) in count
+        self.recent = deque(maxlen=window)
+        self.committed = 0
+
+    def on_outcome(self, outcome):
+        if outcome.committed:
+            self.committed += 1
+        self.stats.observe(outcome.client_latency)
+        local = []
+        local.append(outcome.txn_id)  # plain local list: not flagged
+        self.recent.appendleft(outcome.txn_id)

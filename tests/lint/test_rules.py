@@ -20,6 +20,7 @@ EXPECTED = {
     "api": {"API001", "API002"},
     "obs": {"OBS001"},
     "cache": {"CACHE001"},
+    "mem": {"MEM001"},
 }
 
 
@@ -40,7 +41,7 @@ def test_good_fixture_is_clean(family):
 
 def test_all_families_are_registered():
     families = {rule.family for rule in all_rules()}
-    assert {"DET", "GEN", "FENCE", "API", "OBS", "CACHE"} <= families
+    assert {"DET", "GEN", "FENCE", "API", "OBS", "CACHE", "MEM"} <= families
 
 
 def test_rules_have_identity_and_rationale():
